@@ -1,0 +1,62 @@
+// Ablation A3: the chunk quota as a region-exhaustion guard (§3.3).
+//
+// A misbehaving receiver never deallocates. Without a quota it would drain
+// the shared fbuf region's virtual space for everyone; with one, the
+// offending allocator is cut off while other paths keep working.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace fbufs {
+namespace bench {
+namespace {
+
+int Main() {
+  std::printf("\n=== Ablation A3: chunk quota vs a receiver that never frees ===\n");
+  std::printf("%8s %18s %20s %22s\n", "quota", "allocs-before-cut", "region-pages-used",
+              "other-path-usable");
+  for (const std::uint32_t quota : {4u, 16u, 64u, 256u}) {
+    MachineConfig mcfg;
+    Machine machine(mcfg);
+    FbufConfig fcfg;
+    fcfg.chunk_pages = 4;
+    fcfg.chunk_quota = quota;
+    FbufSystem fsys(&machine, fcfg);
+    Domain* src = machine.CreateDomain("src");
+    Domain* evil = machine.CreateDomain("hoarder");
+    Domain* other = machine.CreateDomain("other");
+    const PathId bad_path = fsys.paths().Register({src->id(), evil->id()});
+    const PathId good_path = fsys.paths().Register({src->id(), other->id()});
+
+    const std::uint64_t region_before = fsys.RegionFreePages();
+    int allocs = 0;
+    while (true) {
+      Fbuf* fb = nullptr;
+      if (!Ok(fsys.Allocate(*src, bad_path, 4 * kPageSize, true, &fb))) {
+        break;
+      }
+      fsys.Transfer(fb, *src, *evil);
+      fsys.Free(fb, *src);  // the hoarder never frees its reference
+      allocs++;
+      if (allocs > 1 << 20) {
+        break;  // unbounded: would exhaust the region
+      }
+    }
+    const std::uint64_t used = region_before - fsys.RegionFreePages();
+    // Other paths must still be able to allocate.
+    Fbuf* ok_fb = nullptr;
+    const bool other_ok = Ok(fsys.Allocate(*src, good_path, 4 * kPageSize, true, &ok_fb));
+    std::printf("%8u %18d %20llu %22s\n", quota, allocs,
+                static_cast<unsigned long long>(used), other_ok ? "yes" : "NO");
+  }
+  std::printf(
+      "\nreading: the quota bounds how much of the region one data path can pin\n"
+      "(allocs-before-cut = quota * chunk / fbuf); other allocators are unaffected.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fbufs
+
+int main() { return fbufs::bench::Main(); }

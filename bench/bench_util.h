@@ -1,0 +1,152 @@
+// Shared helpers for the reproduction benches: fixture world, the paper's
+// allocate/write/send/read/free cycle, and table printing.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baseline/transfer_facility.h"
+#include "src/fbuf/fbuf_system.h"
+#include "src/ipc/rpc.h"
+#include "src/vm/machine.h"
+
+namespace fbufs {
+namespace bench {
+
+// Machine + fbuf system + rpc with a source and a destination user domain
+// and a registered two-domain data path; DecStation cost model.
+struct BenchWorld {
+  explicit BenchWorld(const FbufConfig& fcfg = DefaultFbufConfig())
+      : machine(MachineConfig{}), fsys(&machine, fcfg), rpc(&machine) {
+    fsys.AttachRpc(&rpc);
+    src = machine.CreateDomain("src");
+    dst = machine.CreateDomain("dst");
+    path = fsys.paths().Register({src->id(), dst->id()});
+  }
+
+  static FbufConfig DefaultFbufConfig() {
+    FbufConfig f;
+    // Table 1 reports clearing separately (57 us/page on the DecStation).
+    f.clear_new_pages = false;
+    return f;
+  }
+
+  Machine machine;
+  FbufSystem fsys;
+  Rpc rpc;
+  Domain* src = nullptr;
+  Domain* dst = nullptr;
+  PathId path = kNoPath;
+};
+
+// One paper cycle through a TransferFacility: write one word per page in the
+// originator, send, read one word per page in the receiver, free. When
+// |with_ipc| the cycle charges a cross-domain RPC (Figure 3 includes IPC
+// latency; Table 1 factors it out by slope).
+inline Status OneCycle(BenchWorld& w, TransferFacility& f, std::uint64_t bytes, bool with_ipc,
+                       bool reuse_buffer, BufferRef* ref) {
+  if (!reuse_buffer) {
+    const Status st = f.Alloc(*w.src, bytes, ref);
+    if (!Ok(st)) {
+      return st;
+    }
+  }
+  Status st = w.src->TouchRange(ref->sender_addr, ref->bytes, Access::kWrite);
+  if (!Ok(st)) {
+    return st;
+  }
+  if (with_ipc) {
+    w.rpc.ChargeCrossing(*w.src, *w.dst);
+  }
+  st = f.Send(*ref, *w.src, *w.dst);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = w.dst->TouchRange(ref->receiver_addr, ref->bytes, Access::kRead);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = f.ReceiverFree(*ref, *w.dst);
+  if (!Ok(st)) {
+    return st;
+  }
+  if (!reuse_buffer) {
+    st = f.SenderFree(*ref, *w.src);
+  }
+  return st;
+}
+
+// Simulated-time throughput in Mbps for |iters| cycles of |bytes| each.
+inline double ThroughputMbps(BenchWorld& w, TransferFacility& f, std::uint64_t bytes,
+                             bool with_ipc, bool reuse_buffer, int warmup = 3, int iters = 10) {
+  BufferRef ref;
+  if (reuse_buffer && !Ok(f.Alloc(*w.src, bytes, &ref))) {
+    return -1;
+  }
+  for (int i = 0; i < warmup; ++i) {
+    if (!Ok(OneCycle(w, f, bytes, with_ipc, reuse_buffer, &ref))) {
+      return -1;
+    }
+  }
+  const SimTime before = w.machine.clock().Now();
+  for (int i = 0; i < iters; ++i) {
+    if (!Ok(OneCycle(w, f, bytes, with_ipc, reuse_buffer, &ref))) {
+      return -1;
+    }
+  }
+  const SimTime elapsed = w.machine.clock().Now() - before;
+  if (reuse_buffer) {
+    f.SenderFree(ref, *w.src);
+  }
+  return static_cast<double>(bytes) * iters * 8.0 * 1000.0 / static_cast<double>(elapsed);
+}
+
+// Per-page incremental cost (microseconds) by slope between two sizes, which
+// cancels per-message costs exactly as the paper's Table 1 method does.
+inline double PerPageSlopeUs(BenchWorld& w, TransferFacility& f, bool reuse_buffer) {
+  constexpr std::uint64_t kSmall = 96, kLarge = 192;
+  constexpr int kIters = 10;
+  auto run = [&](std::uint64_t pages) -> SimTime {
+    BufferRef ref;
+    if (reuse_buffer && !Ok(f.Alloc(*w.src, pages * kPageSize, &ref))) {
+      return 0;
+    }
+    for (int i = 0; i < 3; ++i) {
+      OneCycle(w, f, pages * kPageSize, false, reuse_buffer, &ref);
+    }
+    const SimTime before = w.machine.clock().Now();
+    for (int i = 0; i < kIters; ++i) {
+      OneCycle(w, f, pages * kPageSize, false, reuse_buffer, &ref);
+    }
+    const SimTime elapsed = w.machine.clock().Now() - before;
+    if (reuse_buffer) {
+      f.SenderFree(ref, *w.src);
+    }
+    return elapsed;
+  };
+  const SimTime t1 = run(kSmall);
+  const SimTime t2 = run(kLarge);
+  return static_cast<double>(t2 - t1) / 1000.0 / (kIters * (kLarge - kSmall));
+}
+
+// --- Output helpers ----------------------------------------------------------
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintSeriesHeader(const std::vector<std::string>& columns) {
+  std::printf("%12s", "size");
+  for (const std::string& c : columns) {
+    std::printf("  %22s", c.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace fbufs
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,70 @@
+// Reproduces Figure 4: throughput of a UDP/IP local loopback test (an
+// infinitely fast network) as a function of message size. Three
+// configurations: all components in a single protection domain; three
+// domains with cached fbufs; three domains with uncached fbufs.
+//
+// Expected shape (paper): cached fbufs give >2x the throughput of uncached
+// across the whole range; at >= 64 KB the 3-domain cached curve reaches
+// >= 90% of the single-domain curve; the single-domain curve shows a
+// fragmentation anomaly just above the 4 KB PDU size.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/proto/loopback_stack.h"
+
+namespace fbufs {
+namespace bench {
+namespace {
+
+double RunSeries(bool three_domains, bool cached, std::uint64_t size) {
+  MachineConfig mcfg;
+  Machine machine(mcfg);
+  FbufConfig fcfg;
+  FbufSystem fsys(&machine, fcfg);
+  Rpc rpc(&machine);
+  fsys.AttachRpc(&rpc);
+  LoopbackStackConfig cfg;
+  cfg.pdu_size = 4096;
+  cfg.three_domains = three_domains;
+  cfg.cached_paths = cached;
+  LoopbackStack ls(&machine, &fsys, &rpc, cfg);
+  const int warmup = 2, iters = 6;
+  for (int i = 0; i < warmup; ++i) {
+    if (!Ok(ls.SendMessage(size))) {
+      return -1;
+    }
+  }
+  const SimTime before = machine.clock().Now();
+  for (int i = 0; i < iters; ++i) {
+    if (!Ok(ls.SendMessage(size))) {
+      return -1;
+    }
+  }
+  const SimTime elapsed = machine.clock().Now() - before;
+  return static_cast<double>(size) * iters * 8.0 * 1000.0 / static_cast<double>(elapsed);
+}
+
+int Main() {
+  PrintHeader("Figure 4: UDP/IP local loopback throughput (Mbps), IP PDU = 4 KB");
+  std::printf("%10s %15s %18s %20s\n", "size", "single-domain", "3-domains-cached",
+              "3-domains-uncached");
+  const std::vector<std::uint64_t> sizes = {1024,   2048,   4096,   8192,   16384,  32768,
+                                            65536, 131072, 262144, 524288, 1048576};
+  for (const std::uint64_t size : sizes) {
+    std::printf("%10llu %15.1f %18.1f %20.1f\n", static_cast<unsigned long long>(size),
+                RunSeries(false, true, size), RunSeries(true, true, size),
+                RunSeries(true, false, size));
+  }
+  std::printf(
+      "\nshape checks: cached >= 2x uncached from moderate sizes up (IPC latency dominates\n"
+      "both at the very small end); 3-domain cached within ~10%% of single-domain at\n"
+      ">= 64-128 KB; single-domain dip just above the 4 KB PDU (fragmentation overhead).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fbufs
+
+int main() { return fbufs::bench::Main(); }

@@ -1,0 +1,72 @@
+// Extension bench: the unified buffer cache (src/cache).
+//
+// Measures effective read bandwidth as a function of hit ratio, comparing
+// zero-copy fbuf reads with the legacy copying read() path — the §2.2
+// argument for buffering network and file data in one fbuf pool.
+#include <cstdio>
+#include <vector>
+
+#include "src/cache/file_cache.h"
+#include "src/sim/rng.h"
+
+namespace fbufs {
+namespace bench {
+namespace {
+
+// Zipf-ish access: |hot_blocks| of the file take |hot_percent| of accesses.
+double RunReads(bool zero_copy, std::uint32_t hot_percent) {
+  Machine machine{MachineConfig{}};
+  FbufSystem fsys(&machine);
+  Domain* app = machine.CreateDomain("app");
+  FileCacheConfig cfg;
+  cfg.block_bytes = 8192;
+  cfg.capacity_blocks = 32;
+  FileCache cache(&fsys, cfg);
+  Rng rng(17);
+  constexpr int kAccesses = 400;
+  constexpr std::uint64_t kHotBlocks = 16;   // fits in cache
+  constexpr std::uint64_t kColdBlocks = 512; // does not
+
+  std::vector<std::uint8_t> legacy(cfg.block_bytes);
+  const SimTime t0 = machine.clock().Now();
+  std::uint64_t bytes = 0;
+  for (int i = 0; i < kAccesses; ++i) {
+    const bool hot = rng.Chance(hot_percent, 100);
+    const std::uint64_t block =
+        hot ? rng.Below(kHotBlocks) : kHotBlocks + rng.Below(kColdBlocks);
+    Message m;
+    if (!Ok(cache.Read(1, block, *app, &m))) {
+      return -1;
+    }
+    if (zero_copy) {
+      m.Touch(*app, Access::kRead);  // consume in place
+    } else {
+      m.CopyOut(*app, 0, legacy.data(), legacy.size());
+      machine.clock().Advance(machine.costs().CopyCost(legacy.size()));
+    }
+    cache.Release(m, *app);
+    bytes += cfg.block_bytes;
+  }
+  const double seconds = (machine.clock().Now() - t0) / 1e9;
+  return bytes * 8.0 / seconds / 1e6;
+}
+
+int Main() {
+  std::printf("\n=== Unified buffer cache: read bandwidth vs locality (extension) ===\n");
+  std::printf("(8 KB blocks, 32-block cache, 400 reads; disk = 15 ms + 2 MB/s)\n\n");
+  std::printf("%12s %18s %18s\n", "hot-access%", "zero-copy Mbps", "copying Mbps");
+  for (const std::uint32_t hot : {50u, 80u, 95u, 99u, 100u}) {
+    std::printf("%11u%% %18.1f %18.1f\n", hot, RunReads(true, hot), RunReads(false, hot));
+  }
+  std::printf(
+      "\nreading: at high hit ratios the copying interface is bounded by memory\n"
+      "bandwidth while zero-copy reads ride the warm fbuf mappings; at low hit\n"
+      "ratios the disk dominates both, as it should.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fbufs
+
+int main() { return fbufs::bench::Main(); }

@@ -1,0 +1,155 @@
+// Google-benchmark microbenchmarks of the library's own primitives: real
+// wall-clock cost of the implementation, with the simulated time charged per
+// operation reported as the "sim_us" counter.
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/fbuf_adapter.h"
+#include "src/fbuf/fbuf_system.h"
+#include "src/ipc/rpc.h"
+#include "src/msg/generator.h"
+#include "src/msg/stored_message.h"
+#include "src/vm/machine.h"
+
+namespace fbufs {
+namespace {
+
+struct Fixture {
+  Fixture() : machine(MachineConfig{}), fsys(&machine, Cfg()), rpc(&machine) {
+    fsys.AttachRpc(&rpc);
+    src = machine.CreateDomain("src");
+    dst = machine.CreateDomain("dst");
+    path = fsys.paths().Register({src->id(), dst->id()});
+  }
+  static FbufConfig Cfg() {
+    FbufConfig f;
+    f.clear_new_pages = false;
+    return f;
+  }
+  Machine machine;
+  FbufSystem fsys;
+  Rpc rpc;
+  Domain* src;
+  Domain* dst;
+  PathId path;
+};
+
+void BM_CachedAllocFree(benchmark::State& state) {
+  Fixture fx;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0)) * kPageSize;
+  // Prime the free list.
+  Fbuf* fb = nullptr;
+  fx.fsys.Allocate(*fx.src, fx.path, bytes, true, &fb);
+  fx.fsys.Free(fb, *fx.src);
+  const SimTime t0 = fx.machine.clock().Now();
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    fx.fsys.Allocate(*fx.src, fx.path, bytes, true, &fb);
+    fx.fsys.Free(fb, *fx.src);
+    ops++;
+  }
+  state.counters["sim_us"] =
+      benchmark::Counter((fx.machine.clock().Now() - t0) / 1000.0 / ops);
+}
+BENCHMARK(BM_CachedAllocFree)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_TransferCycle(benchmark::State& state) {
+  Fixture fx;
+  const bool cached = state.range(0) != 0;
+  const std::uint64_t bytes = 16 * kPageSize;
+  std::uint64_t ops = 0;
+  const SimTime t0 = fx.machine.clock().Now();
+  for (auto _ : state) {
+    Fbuf* fb = nullptr;
+    fx.fsys.Allocate(*fx.src, cached ? fx.path : kNoPath, bytes, true, &fb);
+    fx.fsys.Transfer(fb, *fx.src, *fx.dst);
+    fx.fsys.Free(fb, *fx.dst);
+    fx.fsys.Free(fb, *fx.src);
+    ops++;
+  }
+  state.counters["sim_us"] =
+      benchmark::Counter((fx.machine.clock().Now() - t0) / 1000.0 / ops);
+  state.SetLabel(cached ? "cached" : "uncached");
+}
+BENCHMARK(BM_TransferCycle)->Arg(1)->Arg(0);
+
+void BM_DomainTouch(benchmark::State& state) {
+  Fixture fx;
+  Fbuf* fb = nullptr;
+  fx.fsys.Allocate(*fx.src, fx.path, 64 * kPageSize, true, &fb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.src->TouchRange(fb->base, fb->bytes, Access::kWrite));
+  }
+}
+BENCHMARK(BM_DomainTouch);
+
+void BM_MessageSliceConcat(benchmark::State& state) {
+  Fixture fx;
+  Fbuf* fb = nullptr;
+  fx.fsys.Allocate(*fx.src, fx.path, 64 * kPageSize, true, &fb);
+  Message m = Message::Whole(fb);
+  for (auto _ : state) {
+    Message re;
+    for (std::uint64_t off = 0; off < m.length(); off += 4096) {
+      re = Message::Concat(re, m.Slice(off, 4096));
+    }
+    benchmark::DoNotOptimize(re.length());
+  }
+}
+BENCHMARK(BM_MessageSliceConcat);
+
+void BM_StoredMessageRoundTrip(benchmark::State& state) {
+  Fixture fx;
+  IntegratedTransfer xfer(&fx.fsys);
+  Message m;
+  for (int i = 0; i < 8; ++i) {
+    Fbuf* fb = nullptr;
+    fx.fsys.Allocate(*fx.src, fx.path, kPageSize, true, &fb);
+    fx.src->TouchRange(fb->base, kPageSize, Access::kWrite);
+    m = Message::Concat(m, Message::Whole(fb));
+  }
+  for (auto _ : state) {
+    StoredMessage sm;
+    xfer.Store(*fx.src, fx.path, m, true, &sm);
+    xfer.Send(sm, *fx.src, *fx.dst);
+    Message got;
+    xfer.Load(*fx.dst, sm.root, &got);
+    benchmark::DoNotOptimize(got.length());
+    xfer.FreeAll(sm, *fx.dst);
+    fx.fsys.Free(sm.node_fbuf, *fx.src);
+  }
+}
+BENCHMARK(BM_StoredMessageRoundTrip);
+
+void BM_RpcCrossing(benchmark::State& state) {
+  Fixture fx;
+  fx.rpc.RegisterService(*fx.dst, 1, [](RpcArgs&) { return Status::kOk; });
+  RpcArgs args;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.rpc.Call(*fx.src, 1, args));
+  }
+}
+BENCHMARK(BM_RpcCrossing);
+
+void BM_UnitGenerator(benchmark::State& state) {
+  Fixture fx;
+  Message m;
+  for (int i = 0; i < 8; ++i) {
+    Fbuf* fb = nullptr;
+    fx.fsys.Allocate(*fx.src, fx.path, kPageSize, true, &fb);
+    m = Message::Concat(m, Message::Whole(fb));
+  }
+  for (auto _ : state) {
+    UnitGenerator gen(m, fx.src, 100);
+    std::vector<std::uint8_t> unit;
+    bool zc;
+    while (gen.Next(&unit, &zc) == Status::kOk) {
+      benchmark::DoNotOptimize(unit.data());
+    }
+  }
+}
+BENCHMARK(BM_UnitGenerator);
+
+}  // namespace
+}  // namespace fbufs
+
+BENCHMARK_MAIN();

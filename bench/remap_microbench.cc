@@ -1,0 +1,63 @@
+// Reproduces the §2.2 re-evaluation of Tzou/Anderson-style page remapping on
+// a "modern machine": the ping-pong per-page cost and the realistic one-way
+// cost including allocation, clearing (0-100% of each page) and
+// deallocation.
+//
+// Paper: 22 us/page ping-pong; 42-99 us/page realistic.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baseline/remap_transfer.h"
+
+namespace fbufs {
+namespace bench {
+namespace {
+
+double PingPongUs() {
+  BenchWorld w;
+  RemapTransfer f(&w.machine, RemapTransfer::Mode::kPingPong);
+  constexpr std::uint64_t kSmall = 96, kLarge = 192;
+  constexpr int kIters = 10;
+  auto run = [&](std::uint64_t pages) {
+    BufferRef ref;
+    f.Alloc(*w.src, pages * kPageSize, &ref);
+    for (int i = 0; i < 2; ++i) {
+      f.Send(ref, *w.src, *w.dst);
+      f.SendBack(ref, *w.dst, *w.src);
+    }
+    const SimTime before = w.machine.clock().Now();
+    for (int i = 0; i < kIters; ++i) {
+      w.src->TouchRange(ref.sender_addr, ref.bytes, Access::kWrite);
+      f.Send(ref, *w.src, *w.dst);
+      w.dst->TouchRange(ref.sender_addr, ref.bytes, Access::kRead);
+      f.SendBack(ref, *w.dst, *w.src);
+    }
+    const SimTime elapsed = w.machine.clock().Now() - before;
+    f.SenderFree(ref, *w.src);
+    return elapsed;
+  };
+  const SimTime t1 = run(kSmall);
+  const SimTime t2 = run(kLarge);
+  return static_cast<double>(t2 - t1) / 1000.0 / (kIters * (kLarge - kSmall)) / 2.0;
+}
+
+int Main() {
+  std::printf("\n=== §2.2: DASH-style page remapping, re-evaluated ===\n");
+  std::printf("ping-pong:        %5.1f us/page   (paper: 22)\n", PingPongUs());
+  std::printf("\nrealistic one-way (alloc + clear + remap + dealloc):\n");
+  std::printf("%14s %12s %10s\n", "cleared-%", "us/page", "paper");
+  for (const std::uint32_t percent : {0u, 25u, 50u, 75u, 100u}) {
+    BenchWorld w;
+    RemapTransfer f(&w.machine, RemapTransfer::Mode::kRealistic, percent);
+    const double us = PerPageSlopeUs(w, f, /*reuse_buffer=*/false);
+    std::printf("%13u%% %12.1f %10.1f\n", percent, us, 42.0 + 57.0 * percent / 100.0);
+  }
+  std::printf("\npaper range: 42 (nothing cleared) to 99 us/page (fully cleared)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fbufs
+
+int main() { return fbufs::bench::Main(); }

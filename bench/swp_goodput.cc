@@ -1,0 +1,95 @@
+// Extension bench: SWP goodput vs frame-loss rate.
+//
+// Reliable transport built on fbufs retransmits from retained references —
+// zero copies regardless of loss. This bench reports goodput degradation
+// and the retransmission amplification as the channel worsens.
+#include <cstdio>
+#include <memory>
+
+#include "src/proto/swp.h"
+#include "src/proto/test_protocols.h"
+#include "src/vm/machine.h"
+
+namespace fbufs {
+namespace bench {
+namespace {
+
+struct RunResult {
+  double goodput_mbps;
+  double retx_per_msg;
+  std::uint64_t bytes_copied;
+};
+
+RunResult Run(std::uint32_t drop_percent) {
+  Machine machine{MachineConfig{}};
+  FbufSystem fsys(&machine);
+  Rpc rpc(&machine);
+  fsys.AttachRpc(&rpc);
+  ProtocolStack stack(&machine, &fsys, &rpc);
+  stack.set_domain_count(2);
+  Domain* sd = machine.CreateDomain("sender");
+  Domain* rd = machine.CreateDomain("receiver");
+  const PathId tx_hdr = fsys.paths().Register({sd->id(), rd->id()});
+  const PathId rx_hdr = fsys.paths().Register({rd->id(), sd->id()});
+  const PathId data = fsys.paths().Register({sd->id(), rd->id()});
+  SwpProtocol sender(sd, &stack, tx_hdr, 8);
+  SwpProtocol receiver(rd, &stack, rx_hdr, 8);
+  LossyChannel fwd(sd, &stack, 11, drop_percent);
+  LossyChannel rev(rd, &stack, 13, drop_percent);
+  SinkProtocol sink(rd, &stack);
+  sender.set_below(&fwd);
+  fwd.set_peer_above(&receiver);
+  receiver.set_below(&rev);
+  rev.set_peer_above(&sender);
+  receiver.set_above(&sink);
+
+  constexpr int kMessages = 64;
+  constexpr std::uint64_t kBytes = 32 * 1024;
+  const SimTime t0 = machine.clock().Now();
+  int accepted = 0;
+  int guard = 0;
+  while (accepted < kMessages && guard++ < 100000) {
+    Fbuf* fb = nullptr;
+    if (!Ok(fsys.Allocate(*sd, data, kBytes, true, &fb))) {
+      break;
+    }
+    sd->TouchRange(fb->base, kBytes, Access::kWrite);
+    const Status st = sender.Push(Message::Whole(fb));
+    fsys.Free(fb, *sd);
+    if (st == Status::kOk) {
+      accepted++;
+    } else {
+      machine.clock().Advance(2 * kMillisecond);  // retransmission timeout
+      sender.Tick();
+    }
+  }
+  while (sender.unacked() > 0 && guard++ < 200000) {
+    machine.clock().Advance(2 * kMillisecond);
+    sender.Tick();
+  }
+  const double seconds = (machine.clock().Now() - t0) / 1e9;
+  return RunResult{sink.bytes_received() * 8.0 / seconds / 1e6,
+                   static_cast<double>(sender.retransmissions()) / kMessages,
+                   machine.stats().bytes_copied};
+}
+
+int Main() {
+  std::printf("\n=== SWP (sliding window) goodput vs loss — fbuf retention extension ===\n");
+  std::printf("(64 x 32 KB messages, window 8, 2 ms timeout)\n\n");
+  std::printf("%8s %14s %14s %14s\n", "loss-%", "goodput-Mbps", "retx/msg", "bytes-copied");
+  for (const std::uint32_t loss : {0u, 5u, 10u, 20u, 40u, 60u}) {
+    const RunResult r = Run(loss);
+    std::printf("%8u %14.1f %14.2f %14llu\n", loss, r.goodput_mbps, r.retx_per_msg,
+                static_cast<unsigned long long>(r.bytes_copied));
+  }
+  std::printf(
+      "\nreading: retransmissions grow with loss, yet bytes-copied stays zero — the\n"
+      "sender retransmits from retained immutable fbufs (copy semantics, §2.1.3).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fbufs
+
+int main() { return fbufs::bench::Main(); }

@@ -1,0 +1,90 @@
+// Reproduces Table 1 of the paper: incremental per-page cost and calculated
+// asymptotic throughput of each cross-domain transfer mechanism, measured
+// with the paper's cycle (allocate, write one word per page, transfer, read
+// one word per page, deallocate) and the slope method that factors out IPC
+// latency. Also reports the page-clear cost the table excludes.
+//
+// Paper values (DecStation 5000/200):
+//   fbufs, cached/volatile     3 us/page   10922 Mbps
+//   fbufs, volatile           21 us/page    1560 Mbps
+//   fbufs, cached             29 us/page    1130 Mbps
+//   fbufs                     47 us/page     697 Mbps
+//   Mach COW                 159 us/page     206 Mbps
+//   Copy                     204 us/page     161 Mbps
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/baseline/copy_transfer.h"
+#include "src/baseline/cow_transfer.h"
+#include "src/baseline/fbuf_adapter.h"
+
+namespace fbufs {
+namespace bench {
+namespace {
+
+struct Row {
+  const char* label;
+  double paper_us;
+  double measured_us;
+};
+
+void Report(const Row& r) {
+  const double mbps = kPageSize * 8.0 / r.measured_us;
+  std::printf("%-28s %10.1f %12.1f %14.0f %12.0f\n", r.label, r.measured_us, r.paper_us, mbps,
+              kPageSize * 8.0 / r.paper_us);
+}
+
+int Main() {
+  PrintHeader("Table 1: incremental per-page transfer costs");
+  std::printf("%-28s %10s %12s %14s %12s\n", "mechanism", "us/page", "paper-us", "Mbps",
+              "paper-Mbps");
+
+  {
+    BenchWorld w;
+    FbufTransferAdapter f(&w.fsys, w.path, true, true);
+    Report({"fbufs, cached/volatile", 3.0, PerPageSlopeUs(w, f, false)});
+  }
+  {
+    BenchWorld w;
+    FbufTransferAdapter f(&w.fsys, kNoPath, false, true);
+    Report({"fbufs, volatile", 21.0, PerPageSlopeUs(w, f, false)});
+  }
+  {
+    BenchWorld w;
+    FbufTransferAdapter f(&w.fsys, w.path, true, false);
+    Report({"fbufs, cached", 29.0, PerPageSlopeUs(w, f, false)});
+  }
+  {
+    BenchWorld w;
+    FbufTransferAdapter f(&w.fsys, kNoPath, false, false);
+    Report({"fbufs", 47.0, PerPageSlopeUs(w, f, false)});
+  }
+  {
+    BenchWorld w;
+    CowTransfer f(&w.machine);
+    Report({"Mach COW", 159.0, PerPageSlopeUs(w, f, true)});
+  }
+  {
+    BenchWorld w;
+    CopyTransfer f(&w.machine);
+    Report({"Copy", 204.0, PerPageSlopeUs(w, f, true)});
+  }
+
+  // §4: the cost for clearing pages (excluded from the table above).
+  {
+    BenchWorld w;
+    const SimTime before = w.machine.clock().Now();
+    auto frame = w.machine.pmem().Allocate(/*clear=*/true);
+    (void)frame;
+    std::printf("\npage clear (excluded above): %.0f us/page  (paper: 57)\n",
+                (w.machine.clock().Now() - before) / 1000.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fbufs
+
+int main() { return fbufs::bench::Main(); }

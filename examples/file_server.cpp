@@ -1,0 +1,70 @@
+// A file server built on the unified buffer cache: clients in separate
+// protection domains read shared files with zero copies, and network and
+// file traffic draw from one physical memory pool.
+//
+//   ./build/examples/file_server
+#include <cstdio>
+
+#include "src/cache/file_cache.h"
+#include "src/msg/generator.h"
+#include "src/sim/rng.h"
+#include "src/vm/machine.h"
+
+using namespace fbufs;
+
+int main() {
+  Machine machine{MachineConfig{}};
+  FbufSystem fsys(&machine);
+  FileCacheConfig ccfg;
+  ccfg.block_bytes = 8192;
+  ccfg.capacity_blocks = 48;
+  FileCache cache(&fsys, ccfg);
+
+  Domain* alice = machine.CreateDomain("alice");
+  Domain* bob = machine.CreateDomain("bob");
+
+  std::printf("== file server: two clients, one block cache, zero copies ==\n\n");
+
+  // Both clients scan the same 32-block file; Alice goes first (cold), Bob
+  // rides her cache entries.
+  auto scan = [&](Domain* who, const char* name) {
+    const SimTime t0 = machine.clock().Now();
+    std::uint64_t bytes = 0;
+    std::uint64_t records = 0;
+    for (std::uint64_t block = 0; block < 32; ++block) {
+      Message m;
+      if (!Ok(cache.Read(/*file=*/1, block, *who, &m))) {
+        std::fprintf(stderr, "read failed\n");
+        return;
+      }
+      // Consume the block as 512-byte records through the generator.
+      UnitGenerator gen(m, who, 512);
+      std::vector<std::uint8_t> rec;
+      bool zc;
+      while (gen.Next(&rec, &zc) == Status::kOk) {
+        records++;
+      }
+      bytes += m.length();
+      cache.Release(m, *who);
+    }
+    const double ms = (machine.clock().Now() - t0) / 1e6;
+    std::printf("%-6s read %3llu KB as %llu records in %8.2f ms (%s)\n", name,
+                static_cast<unsigned long long>(bytes / 1024),
+                static_cast<unsigned long long>(records), ms,
+                cache.hits() > 0 ? "warm cache" : "cold: all disk");
+  };
+  scan(alice, "alice");
+  scan(bob, "bob");
+
+  std::printf("\ncache: %llu misses (disk reads), %llu hits, %llu blocks resident\n",
+              static_cast<unsigned long long>(cache.misses()),
+              static_cast<unsigned long long>(cache.hits()),
+              static_cast<unsigned long long>(cache.resident_blocks()));
+  std::printf("bytes physically copied anywhere: %llu\n",
+              static_cast<unsigned long long>(machine.stats().bytes_copied));
+  std::printf("\nBob's entire scan hit Alice's cached blocks: every block is one\n"
+              "immutable fbuf mapped read-only into both clients — the IO-Lite idea\n"
+              "growing out of the fbuf substrate.\n\n");
+  std::printf("fbuf system state:\n%s", fsys.DebugDump().c_str());
+  return 0;
+}

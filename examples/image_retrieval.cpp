@@ -1,0 +1,120 @@
+// Digital image retrieval with the paper's proposed high-bandwidth I/O
+// interface (§5.2): an application receives a large image as an immutable,
+// potentially non-contiguous buffer aggregate and consumes it through the
+// generator interface at the granularity of its own data unit (a scanline),
+// copying only when a scanline straddles a fragment boundary.
+//
+//   ./build/examples/image_retrieval
+#include <cstdio>
+#include <vector>
+
+#include "src/fbuf/fbuf_system.h"
+#include "src/ipc/rpc.h"
+#include "src/msg/generator.h"
+#include "src/msg/message.h"
+#include "src/vm/machine.h"
+
+using namespace fbufs;
+
+namespace {
+
+constexpr std::uint64_t kWidth = 1024;
+constexpr std::uint64_t kHeight = 768;
+constexpr std::uint64_t kScanline = kWidth;  // 8-bit pixels: 1 KB per line
+constexpr std::uint64_t kImageBytes = kWidth * kHeight;
+// The file server's transfer unit — deliberately not a multiple of the
+// scanline, so some scanlines straddle fragment seams.
+constexpr std::uint64_t kPduBytes = 45000;
+
+}  // namespace
+
+int main() {
+  Machine machine{MachineConfig{}};
+  FbufSystem fsys(&machine);
+  Rpc rpc(&machine);
+  fsys.AttachRpc(&rpc);
+  Domain* file_server = machine.CreateDomain("image-server");
+  Domain* viewer = machine.CreateDomain("viewer");
+  const PathId path = fsys.paths().Register({file_server->id(), viewer->id()});
+
+  std::printf("== image retrieval through the buffer-aggregate interface ==\n");
+  std::printf("image: %llux%llu (%llu KB), delivered as %llu KB fragments\n\n",
+              static_cast<unsigned long long>(kWidth),
+              static_cast<unsigned long long>(kHeight),
+              static_cast<unsigned long long>(kImageBytes / 1024),
+              static_cast<unsigned long long>(kPduBytes / 1024));
+
+  // The image server produces the image as a sequence of PDU-sized fbufs
+  // (the way it arrived from disk or network), joined into one aggregate —
+  // the viewer never sees the seams unless it asks for raw fragments.
+  Message image;
+  std::vector<Fbuf*> pieces;
+  std::uint64_t produced = 0;
+  std::uint8_t checker = 0;
+  while (produced < kImageBytes) {
+    const std::uint64_t n = std::min(kPduBytes, kImageBytes - produced);
+    Fbuf* fb = nullptr;
+    if (!Ok(fsys.Allocate(*file_server, path, n, true, &fb))) {
+      std::fprintf(stderr, "allocation failed\n");
+      return 1;
+    }
+    // Fill with a deterministic pattern (row-major pixel ramp).
+    std::vector<std::uint8_t> data(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      data[i] = static_cast<std::uint8_t>((produced + i) % 251);
+    }
+    file_server->WriteBytes(fb->base, data.data(), n);
+    image = Message::Concat(image, Message::Whole(fb));
+    pieces.push_back(fb);
+    produced += n;
+    checker ^= data[0];
+  }
+
+  // Hand the aggregate to the viewer: references only.
+  rpc.ChargeCrossing(*file_server, *viewer);
+  for (Fbuf* fb : pieces) {
+    fsys.Transfer(fb, *file_server, *viewer);
+    fsys.Free(fb, *file_server);
+  }
+
+  // The viewer consumes scanline by scanline via the generator. A scanline
+  // that lies inside one fragment is delivered without copying.
+  const SimStats before = machine.stats();
+  const SimTime t0 = machine.clock().Now();
+  UnitGenerator lines(image, viewer, kScanline);
+  std::vector<std::uint8_t> line;
+  bool zero_copy = false;
+  std::uint64_t rendered = 0;
+  std::uint64_t pixel_sum = 0;
+  while (lines.Next(&line, &zero_copy) == Status::kOk) {
+    // "Render": fold the pixels so the data is genuinely consumed.
+    for (std::uint8_t px : line) {
+      pixel_sum += px;
+    }
+    rendered++;
+  }
+  const SimStats d = machine.stats().Since(before);
+
+  std::printf("scanlines rendered:        %llu\n", static_cast<unsigned long long>(rendered));
+  std::printf("zero-copy scanlines:       %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(lines.units_returned() - lines.units_copied()),
+              100.0 * (lines.units_returned() - lines.units_copied()) /
+                  lines.units_returned());
+  std::printf("boundary-crossing copies:  %llu (one per %llu KB fragment seam)\n",
+              static_cast<unsigned long long>(lines.units_copied()),
+              static_cast<unsigned long long>(kPduBytes / 1024));
+  std::printf("bytes physically copied:   %llu of %llu (%.2f%%)\n",
+              static_cast<unsigned long long>(d.bytes_copied),
+              static_cast<unsigned long long>(kImageBytes),
+              100.0 * d.bytes_copied / kImageBytes);
+  std::printf("simulated consume time:    %.2f ms (pixel checksum %llu)\n",
+              (machine.clock().Now() - t0) / 1e6,
+              static_cast<unsigned long long>(pixel_sum));
+
+  for (Fbuf* fb : pieces) {
+    fsys.Free(fb, *viewer);
+  }
+  std::printf("\nThe image crossed a protection boundary and was consumed with ~2%% of it\n"
+              "ever copied — the non-contiguity is absorbed by the generator interface.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: the fbuf facility in five minutes.
+//
+// Creates a simulated machine with two protection domains, registers an I/O
+// data path, and moves a buffer from a producer to a consumer twice — the
+// second time entirely from the path's fbuf cache — demonstrating the
+// paper's central claim: in the steady state a cross-domain transfer
+// performs no page-table work at all and moves no bytes.
+//
+//   cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+#include <cstring>
+
+#include "src/fbuf/fbuf_system.h"
+#include "src/ipc/rpc.h"
+#include "src/vm/machine.h"
+
+using namespace fbufs;
+
+int main() {
+  // A simulated shared-memory host with the DecStation 5000/200 cost model.
+  Machine machine{MachineConfig{}};
+  FbufSystem fsys(&machine);
+  Rpc rpc(&machine);
+  fsys.AttachRpc(&rpc);
+
+  Domain* producer = machine.CreateDomain("producer");
+  Domain* consumer = machine.CreateDomain("consumer");
+
+  // The producer knows where its data is headed (its communication
+  // endpoint), so it registers the I/O data path up front. That is what
+  // makes fbuf caching possible.
+  const PathId path = fsys.paths().Register({producer->id(), consumer->id()});
+
+  auto one_round = [&](const char* label, const char* payload) {
+    const SimStats before = machine.stats();
+    const SimTime t0 = machine.clock().Now();
+
+    // 1. Allocate an fbuf on the path (volatile: immutability enforced
+    //    lazily, only if the consumer asks).
+    Fbuf* fb = nullptr;
+    if (!Ok(fsys.Allocate(*producer, path, 4096, /*want_volatile=*/true, &fb))) {
+      std::fprintf(stderr, "allocation failed\n");
+      return;
+    }
+    // 2. Fill it through the producer's checked view of memory.
+    producer->WriteBytes(fb->base, payload, std::strlen(payload) + 1);
+
+    // 3. Transfer: the consumer gains read access at the *same* virtual
+    //    address — the fbuf region is shared by all domains.
+    fsys.Transfer(fb, *producer, *consumer);
+
+    // 4. The consumer reads it in place. Writing would fault: fbufs are
+    //    immutable once transferred.
+    char msg[64] = {};
+    consumer->ReadBytes(fb->base, msg, sizeof(msg));
+
+    // 5. Both sides release their references; the fbuf parks on the path's
+    //    LIFO free list with every mapping intact, ready for reuse.
+    fsys.Free(fb, *consumer);
+    fsys.Free(fb, *producer);
+
+    const SimStats d = machine.stats().Since(before);
+    std::printf("%-12s consumer read: \"%s\"\n", label, msg);
+    std::printf("             simulated time %5.1f us | page-table updates %llu | "
+                "TLB flushes %llu | bytes copied %llu | cache hit %s\n",
+                (machine.clock().Now() - t0) / 1000.0,
+                static_cast<unsigned long long>(d.pt_updates),
+                static_cast<unsigned long long>(d.tlb_flushes),
+                static_cast<unsigned long long>(d.bytes_copied),
+                d.fbuf_cache_hits > 0 ? "yes" : "no");
+  };
+
+  std::printf("== fbufs quickstart ==\n\n");
+  machine.trace().EnableAll();  // watch what the kernel actually does
+  one_round("cold:", "hello from the producer");
+  one_round("warm:", "zero mapping work this time");
+
+  std::printf("\nThe warm round did no page-table work and copied nothing: the fbuf,\n"
+              "its physical pages and the consumer's mappings were all reused.\n");
+  std::printf("\nkernel event trace:\n%s", machine.trace().Dump(12).c_str());
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reliable bulk transfer over a lossy channel with SWP — demonstrating why
+// fbufs provide copy (not move) semantics: the sender retains references to
+// transmitted data for retransmission, at the cost of a reference count
+// bump, never a copy.
+//
+//   ./build/examples/reliable_transfer [drop_percent]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/proto/swp.h"
+#include "src/proto/test_protocols.h"
+#include "src/vm/machine.h"
+
+using namespace fbufs;
+
+int main(int argc, char** argv) {
+  const std::uint32_t drop = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 25;
+
+  Machine machine{MachineConfig{}};
+  FbufSystem fsys(&machine);
+  Rpc rpc(&machine);
+  fsys.AttachRpc(&rpc);
+  ProtocolStack stack(&machine, &fsys, &rpc);
+  stack.set_domain_count(2);
+
+  Domain* sender_dom = machine.CreateDomain("sender");
+  Domain* receiver_dom = machine.CreateDomain("receiver");
+  const PathId tx_hdr = fsys.paths().Register({sender_dom->id(), receiver_dom->id()});
+  const PathId rx_hdr = fsys.paths().Register({receiver_dom->id(), sender_dom->id()});
+  const PathId data_path = fsys.paths().Register({sender_dom->id(), receiver_dom->id()});
+
+  SwpProtocol sender(sender_dom, &stack, tx_hdr, /*window=*/8);
+  SwpProtocol receiver(receiver_dom, &stack, rx_hdr, 8);
+  LossyChannel to_receiver(sender_dom, &stack, /*seed=*/2026, drop);
+  LossyChannel to_sender(receiver_dom, &stack, 2027, drop);
+  SinkProtocol sink(receiver_dom, &stack);
+
+  sender.set_below(&to_receiver);
+  to_receiver.set_peer_above(&receiver);
+  receiver.set_below(&to_sender);
+  to_sender.set_peer_above(&sender);
+  receiver.set_above(&sink);
+
+  // Ship 32 x 32 KB messages across a wire that eats `drop`% of frames.
+  constexpr int kMessages = 32;
+  constexpr std::uint64_t kBytes = 32 * 1024;
+  const SimTime t0 = machine.clock().Now();
+  int accepted = 0;
+  int timer_fires = 0;
+  while (accepted < kMessages) {
+    Fbuf* fb = nullptr;
+    if (!Ok(fsys.Allocate(*sender_dom, data_path, kBytes, true, &fb))) {
+      std::fprintf(stderr, "allocation failed\n");
+      return 1;
+    }
+    sender_dom->TouchRange(fb->base, kBytes, Access::kWrite);
+    const Status st = sender.Push(Message::Whole(fb));
+    fsys.Free(fb, *sender_dom);
+    if (st == Status::kOk) {
+      accepted++;
+    } else {
+      // Window full: the retransmission timer fires.
+      machine.clock().Advance(2 * kMillisecond);
+      sender.Tick();
+      timer_fires++;
+    }
+  }
+  while (sender.unacked() > 0) {
+    machine.clock().Advance(2 * kMillisecond);
+    sender.Tick();
+    timer_fires++;
+  }
+  const double seconds = (machine.clock().Now() - t0) / 1e9;
+
+  std::printf("== reliable transfer over a %u%%-lossy channel ==\n\n", drop);
+  std::printf("delivered:        %llu/%d messages (%llu KB), all in order\n",
+              static_cast<unsigned long long>(sink.received()), kMessages,
+              static_cast<unsigned long long>(sink.bytes_received() / 1024));
+  std::printf("frames dropped:   %llu data, %llu ack\n",
+              static_cast<unsigned long long>(to_receiver.dropped()),
+              static_cast<unsigned long long>(to_sender.dropped()));
+  std::printf("retransmissions:  %llu (timer fired %d times)\n",
+              static_cast<unsigned long long>(sender.retransmissions()), timer_fires);
+  std::printf("duplicates culled:%llu at the receiver\n",
+              static_cast<unsigned long long>(receiver.duplicates_dropped()));
+  std::printf("bytes copied:     %llu — retransmission reuses retained fbufs\n",
+              static_cast<unsigned long long>(machine.stats().bytes_copied));
+  std::printf("simulated time:   %.1f ms (%.1f Mbps effective)\n", seconds * 1e3,
+              sink.bytes_received() * 8.0 / seconds / 1e6);
+  return sink.received() == kMessages ? 0 : 1;
+}

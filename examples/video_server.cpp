@@ -1,0 +1,145 @@
+// Real-time video delivery across protection domains — one of the I/O
+// intensive applications the paper's introduction motivates.
+//
+// A capture driver in the kernel produces 640x480x16bpp frames (600 KB)
+// that pass through a user-level video server (which prepends a small
+// header describing the frame — buffer editing, no copy) and end at a
+// display client. We compare what a 25 MHz DecStation-class machine could
+// sustain with cached fbufs against a copying kernel, in frames per second
+// and CPU headroom.
+//
+//   ./build/examples/video_server
+#include <cstdio>
+
+#include "src/baseline/copy_transfer.h"
+#include "src/fbuf/fbuf_system.h"
+#include "src/ipc/rpc.h"
+#include "src/msg/message.h"
+#include "src/vm/machine.h"
+
+using namespace fbufs;
+
+namespace {
+
+constexpr std::uint64_t kFrameBytes = 640 * 480 * 2;  // 600 KB
+constexpr int kFrames = 60;
+
+struct FrameHeader {
+  std::uint32_t seq;
+  std::uint32_t width;
+  std::uint32_t height;
+  std::uint32_t bits_per_pixel;
+};
+
+// Pipeline using fbufs: driver (kernel) -> video server -> display.
+double RunFbufPipeline(double* cpu_load) {
+  Machine machine{MachineConfig{}};
+  FbufSystem fsys(&machine);
+  Rpc rpc(&machine);
+  fsys.AttachRpc(&rpc);
+  Domain& kernel = machine.kernel();
+  Domain* server = machine.CreateDomain("video-server");
+  Domain* display = machine.CreateDomain("display");
+
+  const PathId frame_path = fsys.paths().Register({kernel.id(), server->id(), display->id()});
+  const PathId hdr_path = fsys.paths().Register({server->id(), display->id()});
+
+  const SimTime t0 = machine.clock().Now();
+  for (int f = 0; f < kFrames; ++f) {
+    // Capture: the driver DMAs a frame into a path-cached fbuf and touches
+    // its bookkeeping word in each page.
+    Fbuf* frame = nullptr;
+    if (!Ok(fsys.Allocate(kernel, frame_path, kFrameBytes, true, &frame,
+                          /*clear=*/false))) {
+      return -1;
+    }
+    kernel.TouchRange(frame->base, kFrameBytes, Access::kWrite);
+
+    // Kernel -> server crossing.
+    rpc.ChargeCrossing(kernel, *server);
+    fsys.Transfer(frame, kernel, *server);
+    fsys.Free(frame, kernel);
+
+    // The server annotates the frame: new header fbuf, logically
+    // concatenated — the frame itself is immutable and untouched.
+    Fbuf* hdr = nullptr;
+    if (!Ok(fsys.Allocate(*server, hdr_path, sizeof(FrameHeader), true, &hdr))) {
+      return -1;
+    }
+    const FrameHeader h{static_cast<std::uint32_t>(f), 640, 480, 16};
+    server->WriteBytes(hdr->base, &h, sizeof(h));
+    const Message annotated =
+        Message::Concat(Message::Whole(hdr), Message::Leaf(frame, 0, kFrameBytes));
+
+    // Server -> display crossing: both fbufs move by reference.
+    rpc.ChargeCrossing(*server, *display);
+    fsys.Transfer(hdr, *server, *display);
+    fsys.Transfer(frame, *server, *display);
+    fsys.Free(hdr, *server);
+    fsys.Free(frame, *server);
+
+    // The display consumes the frame (reads every page once).
+    annotated.Touch(*display, Access::kRead);
+    fsys.Free(hdr, *display);
+    fsys.Free(frame, *display);
+  }
+  const SimTime elapsed = machine.clock().Now() - t0;
+  const double fps = kFrames * 1e9 / static_cast<double>(elapsed);
+  // CPU budget for 30 fps delivery:
+  *cpu_load = (elapsed / kFrames) / (1e9 / 30.0);
+  return fps;
+}
+
+// The same pipeline, but every boundary copies the frame.
+double RunCopyPipeline(double* cpu_load) {
+  Machine machine{MachineConfig{}};
+  CopyTransfer copy(&machine);
+  Domain& kernel = machine.kernel();
+  Domain* server = machine.CreateDomain("video-server");
+  Domain* display = machine.CreateDomain("display");
+
+  BufferRef frame;
+  if (!Ok(copy.Alloc(kernel, kFrameBytes, &frame))) {
+    return -1;
+  }
+  const SimTime t0 = machine.clock().Now();
+  for (int f = 0; f < kFrames; ++f) {
+    kernel.TouchRange(frame.sender_addr, kFrameBytes, Access::kWrite);
+    machine.clock().Advance(machine.costs().ipc_kernel_user_ns);
+    if (!Ok(copy.Send(frame, kernel, *server))) {
+      return -1;
+    }
+    // Server forwards to the display: a second copy.
+    BufferRef hop;
+    hop.sender_addr = frame.receiver_addr;
+    hop.bytes = frame.bytes;
+    hop.pages = frame.pages;
+    machine.clock().Advance(machine.costs().ipc_user_user_ns);
+    if (!Ok(copy.Send(hop, *server, *display))) {
+      return -1;
+    }
+    display->TouchRange(hop.receiver_addr, kFrameBytes, Access::kRead);
+  }
+  const SimTime elapsed = machine.clock().Now() - t0;
+  *cpu_load = (elapsed / kFrames) / (1e9 / 30.0);
+  return kFrames * 1e9 / static_cast<double>(elapsed);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== video delivery: kernel driver -> video server -> display ==\n");
+  std::printf("frame: 640x480x16bpp = %llu KB, 3 protection domains\n\n",
+              static_cast<unsigned long long>(kFrameBytes / 1024));
+  double fbuf_load = 0, copy_load = 0;
+  const double fbuf_fps = RunFbufPipeline(&fbuf_load);
+  const double copy_fps = RunCopyPipeline(&copy_load);
+  std::printf("cached fbufs: %6.1f fps sustainable  (CPU for 30 fps: %3.0f%%)\n", fbuf_fps,
+              fbuf_load * 100);
+  std::printf("copying:      %6.1f fps sustainable  (CPU for 30 fps: %3.0f%%)\n", copy_fps,
+              copy_load * 100);
+  std::printf("\nWith fbufs the frame crosses two protection boundaries by reference;\n"
+              "the copying kernel moves %.1f MB per frame and cannot reach video rate.\n",
+              2.0 * kFrameBytes / (1 << 20));
+  return 0;
+}

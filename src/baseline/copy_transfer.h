@@ -1,0 +1,35 @@
+// Physical-copy transfer: the kernel memcpys the data into a receiver-side
+// buffer. The receiver buffer is allocated once per (receiver, size) and
+// reused, so the steady-state incremental cost is the copy itself — the
+// paper's 204 us/page, memory-bandwidth bound.
+#ifndef SRC_BASELINE_COPY_TRANSFER_H_
+#define SRC_BASELINE_COPY_TRANSFER_H_
+
+#include <map>
+
+#include "src/baseline/transfer_facility.h"
+
+namespace fbufs {
+
+class CopyTransfer : public TransferFacility {
+ public:
+  explicit CopyTransfer(Machine* machine) : machine_(machine) {}
+
+  std::string name() const override { return "copy"; }
+
+  Status Alloc(Domain& originator, std::uint64_t bytes, BufferRef* ref) override;
+  Status Send(BufferRef& ref, Domain& from, Domain& to) override;
+  Status ReceiverFree(BufferRef& ref, Domain& receiver) override;
+  Status SenderFree(BufferRef& ref, Domain& sender) override;
+
+ private:
+  Status ReceiverBuffer(Domain& to, std::uint64_t pages, VirtAddr* addr);
+
+  Machine* machine_;
+  // (receiver domain, pages) -> reusable landing buffer.
+  std::map<std::pair<DomainId, std::uint64_t>, VirtAddr> pool_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_BASELINE_COPY_TRANSFER_H_

@@ -1,0 +1,32 @@
+// Mach-style copy-on-write transfer.
+//
+// Copy semantics without eager copying: the kernel marks the sender's pages
+// COW and creates receiver map entries, but — like Mach's lazy strategy for
+// physical page tables — installs no low-level entries. The receiver's first
+// touch of each page faults, and so does the sender's next write, giving the
+// paper's "two page faults for each transfer" and its 159 us/page cost.
+#ifndef SRC_BASELINE_COW_TRANSFER_H_
+#define SRC_BASELINE_COW_TRANSFER_H_
+
+#include "src/baseline/transfer_facility.h"
+
+namespace fbufs {
+
+class CowTransfer : public TransferFacility {
+ public:
+  explicit CowTransfer(Machine* machine) : machine_(machine) {}
+
+  std::string name() const override { return "mach-cow"; }
+
+  Status Alloc(Domain& originator, std::uint64_t bytes, BufferRef* ref) override;
+  Status Send(BufferRef& ref, Domain& from, Domain& to) override;
+  Status ReceiverFree(BufferRef& ref, Domain& receiver) override;
+  Status SenderFree(BufferRef& ref, Domain& sender) override;
+
+ private:
+  Machine* machine_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_BASELINE_COW_TRANSFER_H_

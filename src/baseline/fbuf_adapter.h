@@ -1,0 +1,65 @@
+// Adapter presenting the fbuf facility through the common TransferFacility
+// interface, so the comparison benches drive fbufs and the baselines with an
+// identical cycle. The four paper variants are selected by (cached,
+// volatile).
+#ifndef SRC_BASELINE_FBUF_ADAPTER_H_
+#define SRC_BASELINE_FBUF_ADAPTER_H_
+
+#include "src/baseline/transfer_facility.h"
+#include "src/fbuf/fbuf_system.h"
+
+namespace fbufs {
+
+class FbufTransferAdapter : public TransferFacility {
+ public:
+  // |path| must name a registered path whose originator is the allocating
+  // domain for cached operation; pass kNoPath for uncached fbufs.
+  FbufTransferAdapter(FbufSystem* fsys, PathId path, bool cached, bool is_volatile)
+      : fsys_(fsys), path_(path), cached_(cached), volatile_(is_volatile) {}
+
+  std::string name() const override {
+    std::string n = "fbufs";
+    n += cached_ ? "-cached" : "-uncached";
+    n += volatile_ ? "-volatile" : "-secured";
+    return n;
+  }
+
+  Status Alloc(Domain& originator, std::uint64_t bytes, BufferRef* ref) override {
+    Fbuf* fb = nullptr;
+    const Status st =
+        fsys_->Allocate(originator, cached_ ? path_ : kNoPath, bytes, volatile_, &fb);
+    if (!Ok(st)) {
+      return st;
+    }
+    ref->sender_addr = fb->base;
+    ref->receiver_addr = fb->base;  // same address in every domain
+    ref->bytes = bytes;
+    ref->pages = fb->pages;
+    ref->cookie = fb->id;
+    return Status::kOk;
+  }
+
+  Status Send(BufferRef& ref, Domain& from, Domain& to) override {
+    return fsys_->Transfer(Get(ref), from, to);
+  }
+
+  Status ReceiverFree(BufferRef& ref, Domain& receiver) override {
+    return fsys_->Free(Get(ref), receiver);
+  }
+
+  Status SenderFree(BufferRef& ref, Domain& sender) override {
+    return fsys_->Free(Get(ref), sender);
+  }
+
+ private:
+  Fbuf* Get(const BufferRef& ref) { return fsys_->Get(static_cast<FbufId>(ref.cookie)); }
+
+  FbufSystem* fsys_;
+  PathId path_;
+  bool cached_;
+  bool volatile_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_BASELINE_FBUF_ADAPTER_H_

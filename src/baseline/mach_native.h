@@ -1,0 +1,52 @@
+// Mach's native data transfer, as used for the Figure 3 comparison: data is
+// physically copied for messages under 2 KB and transferred copy-on-write
+// otherwise.
+#ifndef SRC_BASELINE_MACH_NATIVE_H_
+#define SRC_BASELINE_MACH_NATIVE_H_
+
+#include "src/baseline/copy_transfer.h"
+#include "src/baseline/cow_transfer.h"
+#include "src/baseline/transfer_facility.h"
+
+namespace fbufs {
+
+class MachNativeTransfer : public TransferFacility {
+ public:
+  static constexpr std::uint64_t kCopyThreshold = 2048;
+
+  explicit MachNativeTransfer(Machine* machine) : copy_(machine), cow_(machine) {}
+
+  std::string name() const override { return "mach-native"; }
+
+  Status Alloc(Domain& originator, std::uint64_t bytes, BufferRef* ref) override {
+    const Status st = Pick(bytes).Alloc(originator, bytes, ref);
+    ref->cookie = bytes < kCopyThreshold ? 0 : 1;
+    return st;
+  }
+  Status Send(BufferRef& ref, Domain& from, Domain& to) override {
+    return Pick(ref).Send(ref, from, to);
+  }
+  Status ReceiverFree(BufferRef& ref, Domain& receiver) override {
+    return Pick(ref).ReceiverFree(ref, receiver);
+  }
+  Status SenderFree(BufferRef& ref, Domain& sender) override {
+    return Pick(ref).SenderFree(ref, sender);
+  }
+
+ private:
+  TransferFacility& Pick(std::uint64_t bytes) {
+    return bytes < kCopyThreshold ? static_cast<TransferFacility&>(copy_)
+                                  : static_cast<TransferFacility&>(cow_);
+  }
+  TransferFacility& Pick(const BufferRef& ref) {
+    return ref.cookie == 0 ? static_cast<TransferFacility&>(copy_)
+                           : static_cast<TransferFacility&>(cow_);
+  }
+
+  CopyTransfer copy_;
+  CowTransfer cow_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_BASELINE_MACH_NATIVE_H_

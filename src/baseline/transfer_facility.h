@@ -1,0 +1,51 @@
+// Common interface over cross-domain data transfer mechanisms.
+//
+// Table 1 and Figure 3 of the paper compare fbufs against physical copying,
+// Mach's copy-on-write, and (in §2.2) DASH-style page remapping. Each
+// baseline implements this interface so the benches can drive them all with
+// the identical allocate → write → send → read → free cycle.
+#ifndef SRC_BASELINE_TRANSFER_FACILITY_H_
+#define SRC_BASELINE_TRANSFER_FACILITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/vm/machine.h"
+#include "src/vm/types.h"
+
+namespace fbufs {
+
+// Handle to one in-flight buffer. The facility interprets the fields.
+struct BufferRef {
+  VirtAddr sender_addr = 0;    // where the originator writes
+  VirtAddr receiver_addr = 0;  // where the receiver reads (set by Send)
+  std::uint64_t bytes = 0;
+  std::uint64_t pages = 0;
+  std::uint64_t cookie = 0;  // facility private
+};
+
+class TransferFacility {
+ public:
+  virtual ~TransferFacility() = default;
+
+  virtual std::string name() const = 0;
+
+  // Prepares a buffer of |bytes| writable by |originator|.
+  virtual Status Alloc(Domain& originator, std::uint64_t bytes, BufferRef* ref) = 0;
+
+  // Makes the buffer's current contents readable by |to| at
+  // ref->receiver_addr (copy semantics unless the facility is a mover).
+  virtual Status Send(BufferRef& ref, Domain& from, Domain& to) = 0;
+
+  // The receiver is done with its view.
+  virtual Status ReceiverFree(BufferRef& ref, Domain& receiver) = 0;
+
+  // The originator is done with the buffer (end of the benchmark loop;
+  // facilities with reusable sender buffers treat this as a no-op between
+  // iterations and reclaim in their destructor).
+  virtual Status SenderFree(BufferRef& ref, Domain& sender) = 0;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_BASELINE_TRANSFER_FACILITY_H_

@@ -1,0 +1,140 @@
+#include "src/cache/file_cache.h"
+
+#include <cstring>
+
+namespace fbufs {
+
+FileCache::FileCache(FbufSystem* fsys, const FileCacheConfig& config)
+    : fsys_(fsys), config_(config), kernel_(&fsys->machine().kernel()) {
+  cache_path_ = fsys_->paths().Register({kernel_->id()});
+}
+
+void FileCache::TouchLru(const Key& key, CachedBlock& cb) {
+  lru_.erase(cb.lru_pos);
+  lru_.push_front(key);
+  cb.lru_pos = lru_.begin();
+}
+
+Status FileCache::FetchFromDisk(const Key& key, Message* out) {
+  Machine& machine = fsys_->machine();
+  Fbuf* fb = nullptr;
+  // Disk DMA overwrites the whole block: no security clearing needed.
+  Status st = fsys_->Allocate(*kernel_, cache_path_, config_.block_bytes,
+                              /*want_volatile=*/true, &fb, /*clear=*/false);
+  if (!Ok(st)) {
+    return st;
+  }
+  // The simulated disk: access latency plus sequential transfer.
+  machine.clock().Advance(config_.disk_access_ns);
+  machine.clock().Advance(config_.block_bytes * 8 * 1000 / config_.disk_mbps);
+  disk_reads_++;
+  // Deterministic content so tests can verify identity: byte i of block b of
+  // file f is a simple mix of (f, b, i).
+  for (std::uint64_t page = 0; page < fb->pages; ++page) {
+    const FrameId frame = kernel_->DebugFrame(PageOf(fb->base) + page);
+    if (frame == kInvalidFrame) {
+      return Status::kNotMapped;
+    }
+    std::uint8_t* data = machine.pmem().Data(frame);
+    const std::uint64_t base = page * kPageSize;
+    for (std::uint64_t i = 0; i < kPageSize && base + i < config_.block_bytes; ++i) {
+      data[i] = static_cast<std::uint8_t>(key.file * 37 + key.block * 11 + base + i);
+    }
+  }
+  *out = Message::Leaf(fb, 0, config_.block_bytes);
+  return Status::kOk;
+}
+
+bool FileCache::Evict(const Key& key) {
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) {
+    return false;
+  }
+  for (Fbuf* fb : it->second.content.Fbufs()) {
+    fsys_->Free(fb, *kernel_);
+  }
+  lru_.erase(it->second.lru_pos);
+  blocks_.erase(it);
+  evictions_++;
+  return true;
+}
+
+Status FileCache::Read(FileId file, std::uint64_t block, Domain& reader, Message* out) {
+  const Key key{file, block};
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) {
+    misses_++;
+    while (blocks_.size() >= config_.capacity_blocks) {
+      Evict(lru_.back());
+    }
+    Message fetched;
+    const Status st = FetchFromDisk(key, &fetched);
+    if (!Ok(st)) {
+      return st;
+    }
+    lru_.push_front(key);
+    it = blocks_.emplace(key, CachedBlock{fetched, lru_.begin()}).first;
+  } else {
+    hits_++;
+    TouchLru(key, it->second);
+  }
+  // Grant the reader references; read-only mappings are built on first use
+  // and retained afterwards (the block's "path" warms per reader).
+  for (Fbuf* fb : it->second.content.Fbufs()) {
+    const Status st = fsys_->Transfer(fb, *kernel_, reader);
+    if (!Ok(st)) {
+      return st;
+    }
+  }
+  *out = it->second.content;
+  return Status::kOk;
+}
+
+Status FileCache::Release(const Message& m, Domain& reader) {
+  for (Fbuf* fb : m.Fbufs()) {
+    const Status st = fsys_->Free(fb, reader);
+    if (!Ok(st)) {
+      return st;
+    }
+  }
+  return Status::kOk;
+}
+
+Status FileCache::Write(FileId file, std::uint64_t block, Domain& writer, const Message& m) {
+  if (m.length() != config_.block_bytes) {
+    return Status::kInvalidArgument;
+  }
+  // Capture by reference and freeze: the cache must not be exposed to
+  // asynchronous modification by the writer (volatile fbufs are secured).
+  for (Fbuf* fb : m.Fbufs()) {
+    Status st = fsys_->Transfer(fb, writer, *kernel_);
+    if (!Ok(st)) {
+      return st;
+    }
+    st = fsys_->Secure(fb, *kernel_);
+    if (!Ok(st)) {
+      return st;
+    }
+  }
+  const Key key{file, block};
+  if (Evict(key)) {
+    evictions_--;  // an overwrite, not memory pressure
+  }
+  lru_.push_front(key);
+  blocks_.emplace(key, CachedBlock{m, lru_.begin()});
+  while (blocks_.size() > config_.capacity_blocks) {
+    Evict(lru_.back());
+  }
+  return Status::kOk;
+}
+
+std::uint64_t FileCache::Shrink(std::uint64_t target_blocks) {
+  std::uint64_t evicted = 0;
+  while (blocks_.size() > target_blocks) {
+    Evict(lru_.back());
+    evicted++;
+  }
+  return evicted;
+}
+
+}  // namespace fbufs

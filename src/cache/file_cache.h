@@ -1,0 +1,108 @@
+// Unified buffer cache: file blocks stored in fbufs.
+//
+// §2.2 of the paper notes that with fbufs "the network subsystem can share
+// physical memory dynamically with other subsystems, applications and file
+// caches". This module builds that out: a kernel file cache whose blocks
+// are fbufs, so
+//   * a cache hit hands an application a read-only mapping of the block —
+//     a zero-copy read();
+//   * the same block can be shared by any number of readers, safely,
+//     because fbufs are immutable;
+//   * a write is the application's own immutable fbuf captured by
+//     reference — a zero-copy write();
+//   * cache memory competes with network buffering in one physical pool,
+//     and eviction returns fbufs to their path's free list.
+// (This is the design direction that later became IO-Lite.)
+#ifndef SRC_CACHE_FILE_CACHE_H_
+#define SRC_CACHE_FILE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "src/fbuf/fbuf_system.h"
+#include "src/msg/message.h"
+
+namespace fbufs {
+
+using FileId = std::uint32_t;
+
+struct FileCacheConfig {
+  std::uint64_t block_bytes = 8192;
+  std::uint64_t capacity_blocks = 64;
+  // A 1993-class disk: average access latency and sustained bandwidth.
+  SimTime disk_access_ns = 15 * kMillisecond;
+  std::uint64_t disk_mbps = 16;  // 2 MB/s
+};
+
+class FileCache {
+ public:
+  // The cache runs in the kernel; blocks are allocated on per-consumer
+  // paths so repeat readers hit warm mappings.
+  FileCache(FbufSystem* fsys, const FileCacheConfig& config = FileCacheConfig());
+
+  FileCache(const FileCache&) = delete;
+  FileCache& operator=(const FileCache&) = delete;
+
+  // Reads one block: on a hit the reader gains a reference to the cached
+  // fbuf (mapping work only the first time); on a miss the block is "read
+  // from disk" into a fresh kernel fbuf. *out views exactly the block's
+  // bytes. The reader must Release() the message when done.
+  Status Read(FileId file, std::uint64_t block, Domain& reader, Message* out);
+
+  // Releases a reader's references from a previous Read.
+  Status Release(const Message& m, Domain& reader);
+
+  // Zero-copy write: captures a reference to the application's immutable
+  // aggregate as the block's new content (the old block is dropped). |m|
+  // must be exactly block_bytes long and the writer must hold its fbufs.
+  Status Write(FileId file, std::uint64_t block, Domain& writer, const Message& m);
+
+  // Drops clean blocks, least recently used first, until at most
+  // |target_blocks| remain. Returns blocks evicted.
+  std::uint64_t Shrink(std::uint64_t target_blocks);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t disk_reads() const { return disk_reads_; }
+  std::uint64_t resident_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Key {
+    FileId file;
+    std::uint64_t block;
+    bool operator<(const Key& o) const {
+      return file != o.file ? file < o.file : block < o.block;
+    }
+  };
+
+  struct CachedBlock {
+    // Content is either a kernel-originated fbuf (read path) or a captured
+    // application aggregate (write path); either way, immutable.
+    Message content;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  void TouchLru(const Key& key, CachedBlock& cb);
+  Status FetchFromDisk(const Key& key, Message* out);
+  // Returns true if the block was resident and got dropped.
+  bool Evict(const Key& key);
+
+  FbufSystem* fsys_;
+  FileCacheConfig config_;
+  Domain* kernel_;
+  PathId cache_path_;
+  std::map<Key, CachedBlock> blocks_;
+  std::list<Key> lru_;  // front = most recent
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t disk_reads_ = 0;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_CACHE_FILE_CACHE_H_

@@ -1,0 +1,85 @@
+// Communication endpoints: the application-visible handle that identifies
+// an I/O data path at buffer-allocation time (§2.1.2).
+//
+// "An application can easily identify the I/O data path of a buffer at the
+// time of allocation by referring to the communication endpoint it intends
+// to use." Endpoints own their path: destroying the endpoint destroys the
+// path, which deallocates the path's fbufs (§3.3).
+#ifndef SRC_FBUF_ENDPOINT_H_
+#define SRC_FBUF_ENDPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/fbuf/fbuf_system.h"
+
+namespace fbufs {
+
+using EndpointId = std::uint32_t;
+constexpr EndpointId kInvalidEndpointId = static_cast<EndpointId>(-1);
+
+struct Endpoint {
+  EndpointId id = kInvalidEndpointId;
+  PathId path = kNoPath;
+  DomainId owner = kInvalidDomainId;
+  bool alive = true;
+};
+
+class EndpointManager {
+ public:
+  explicit EndpointManager(FbufSystem* fsys) : fsys_(fsys) {
+    // Endpoints die with their owning domain, taking their paths along.
+    fsys->machine().AddTerminationHook([this](Domain& d) {
+      for (auto& ep : endpoints_) {
+        if (ep->alive && ep->owner == d.id()) {
+          ep->alive = false;
+          // The path itself is torn down by the fbuf system's own hook.
+        }
+      }
+    });
+  }
+
+  // Opens an endpoint in |owner| whose traffic will traverse |domains|
+  // (owner first).
+  Endpoint* Create(Domain& owner, std::vector<DomainId> domains) {
+    auto ep = std::make_unique<Endpoint>();
+    ep->id = static_cast<EndpointId>(endpoints_.size());
+    ep->owner = owner.id();
+    ep->path = fsys_->paths().Register(std::move(domains));
+    endpoints_.push_back(std::move(ep));
+    return endpoints_.back().get();
+  }
+
+  // Closes the endpoint; its path dies and the path's fbufs are released
+  // (free-listed ones immediately, in-flight ones as references drain).
+  void Destroy(Endpoint* ep) {
+    if (ep == nullptr || !ep->alive) {
+      return;
+    }
+    ep->alive = false;
+    fsys_->DestroyPath(ep->path);
+  }
+
+  // Allocates an I/O buffer for this endpoint: the path is implied, which is
+  // exactly what enables fbuf caching.
+  Status AllocateBuffer(Endpoint* ep, Domain& d, std::uint64_t bytes, bool want_volatile,
+                        Fbuf** out) {
+    if (ep == nullptr || !ep->alive) {
+      return Status::kInvalidArgument;
+    }
+    return fsys_->Allocate(d, ep->path, bytes, want_volatile, out);
+  }
+
+  Endpoint* Get(EndpointId id) {
+    return id < endpoints_.size() ? endpoints_[id].get() : nullptr;
+  }
+
+ private:
+  FbufSystem* fsys_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_FBUF_ENDPOINT_H_

@@ -1,0 +1,72 @@
+// Fbuf: one fast buffer — contiguous virtual pages in the globally shared
+// fbuf region.
+//
+// An fbuf is created by an originator domain, is immutable once transferred
+// (enforced eagerly for non-volatile fbufs, on request via Secure() for
+// volatile ones), and is reference-counted across the domains of its I/O
+// data path. Cached fbufs return to a per-(domain, path) LIFO free list on
+// final release, retaining all receiver mappings so reuse costs nothing.
+#ifndef SRC_FBUF_FBUF_H_
+#define SRC_FBUF_FBUF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/vm/types.h"
+
+namespace fbufs {
+
+using FbufId = std::uint32_t;
+constexpr FbufId kInvalidFbufId = static_cast<FbufId>(-1);
+
+using PathId = std::uint32_t;
+// "No path known at allocation time": the default allocator serves uncached
+// fbufs (§5.2 of the paper).
+constexpr PathId kNoPath = static_cast<PathId>(-1);
+
+struct Fbuf {
+  FbufId id = kInvalidFbufId;
+  VirtAddr base = 0;
+  std::uint64_t pages = 0;
+  std::uint64_t bytes = 0;  // requested size (<= pages * kPageSize)
+  DomainId originator = kInvalidDomainId;
+  PathId path = kNoPath;
+  bool cached = false;
+  bool is_volatile = true;
+  // Originator write access currently revoked (immutability enforced).
+  bool secured = false;
+  // Sitting on its allocator's free list.
+  bool free_listed = false;
+  // Destroyed (uncached fbuf after final free, or torn down with its path).
+  bool dead = false;
+  // Receiver domains with live mappings (persist across free for cached
+  // fbufs — that is the whole point of fbuf caching).
+  std::vector<DomainId> mapped;
+  // Domains currently holding a reference; the originator appears while it
+  // holds one. Multiset semantics: a domain may hold several references.
+  std::vector<DomainId> holders;
+
+  VirtAddr end() const { return base + pages * kPageSize; }
+
+  bool IsMappedIn(DomainId d) const {
+    for (DomainId m : mapped) {
+      if (m == d) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool IsHeldBy(DomainId d) const {
+    for (DomainId h : holders) {
+      if (h == d) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_FBUF_FBUF_H_

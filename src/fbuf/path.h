@@ -1,0 +1,65 @@
+// I/O data paths: the ordered sequence of protection domains a buffer
+// visits, identified at allocation time via the communication endpoint.
+#ifndef SRC_FBUF_PATH_H_
+#define SRC_FBUF_PATH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fbuf/fbuf.h"
+#include "src/vm/types.h"
+
+namespace fbufs {
+
+struct IoPath {
+  PathId id = kNoPath;
+  // Originator first, final consumer last.
+  std::vector<DomainId> domains;
+  bool alive = true;
+
+  DomainId originator() const { return domains.front(); }
+
+  bool Contains(DomainId d) const {
+    for (DomainId x : domains) {
+      if (x == d) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+class PathRegistry {
+ public:
+  // Registers a data path. |domains| must be non-empty; the first entry is
+  // the originator.
+  PathId Register(std::vector<DomainId> domains) {
+    const PathId id = static_cast<PathId>(paths_.size());
+    paths_.push_back(IoPath{id, std::move(domains), true});
+    return id;
+  }
+
+  const IoPath* Get(PathId id) const {
+    if (id >= paths_.size() || !paths_[id].alive) {
+      return nullptr;
+    }
+    return &paths_[id];
+  }
+
+  // Marks the path dead (communication endpoint destroyed). The fbuf system
+  // reacts by deallocating the path's buffers.
+  void MarkDead(PathId id) {
+    if (id < paths_.size()) {
+      paths_[id].alive = false;
+    }
+  }
+
+  std::size_t size() const { return paths_.size(); }
+
+ private:
+  std::vector<IoPath> paths_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_FBUF_PATH_H_

@@ -1,0 +1,57 @@
+// Ports: unidirectional bounded message queues between domains.
+//
+// Used where the paper's system uses asynchronous notification (the device
+// driver handing received PDUs to the protocol stack, explicit deallocation
+// messages). Enqueue/dequeue carry only small control records; bulk data is
+// referenced by fbuf id.
+#ifndef SRC_IPC_PORT_H_
+#define SRC_IPC_PORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "src/vm/types.h"
+
+namespace fbufs {
+
+struct PortMessage {
+  std::uint32_t kind = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+class Port {
+ public:
+  explicit Port(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  Status Send(const PortMessage& m) {
+    if (queue_.size() >= capacity_) {
+      return Status::kExhausted;
+    }
+    queue_.push_back(m);
+    return Status::kOk;
+  }
+
+  std::optional<PortMessage> Receive() {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    PortMessage m = queue_.front();
+    queue_.pop_front();
+    return m;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<PortMessage> queue_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_IPC_PORT_H_

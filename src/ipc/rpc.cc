@@ -1,0 +1,62 @@
+#include "src/ipc/rpc.h"
+
+#include <cassert>
+
+namespace fbufs {
+
+void Rpc::RegisterService(Domain& server, ServiceId svc, Handler handler) {
+  services_[svc] = Service{server.id(), std::move(handler)};
+}
+
+void Rpc::ChargeCrossing(Domain& a, Domain& b) {
+  if (a.id() == b.id()) {
+    return;
+  }
+  const CostParams& c = machine_->costs();
+  const bool kernel_involved = a.id() == kKernelDomainId || b.id() == kKernelDomainId;
+  machine_->trace().Emit(TraceCategory::kIpc, "crossing", a.id(), b.id());
+  machine_->clock().Advance(kernel_involved ? c.ipc_kernel_user_ns : c.ipc_user_user_ns);
+  machine_->stats().ipc_calls++;
+}
+
+Status Rpc::Invoke(Domain& caller, Domain& callee, const std::function<Status()>& fn) {
+  if (caller.id() == callee.id()) {
+    return fn();
+  }
+  ChargeCrossing(caller, callee);
+  for (const PiggybackHook& hook : hooks_) {
+    hook(caller, callee);
+  }
+  const Status st = fn();
+  for (const PiggybackHook& hook : hooks_) {
+    hook(callee, caller);
+  }
+  return st;
+}
+
+Status Rpc::Call(Domain& caller, ServiceId svc, RpcArgs& args) {
+  auto it = services_.find(svc);
+  if (it == services_.end()) {
+    return Status::kNotFound;
+  }
+  Domain* server = machine_->domain(it->second.server);
+  assert(server != nullptr);
+  if (!server->alive()) {
+    return Status::kNotFound;
+  }
+  if (server->id() != caller.id()) {
+    ChargeCrossing(caller, *server);
+    for (const PiggybackHook& hook : hooks_) {
+      hook(caller, *server);  // request direction
+    }
+  }
+  const Status st = it->second.handler(args);
+  if (server->id() != caller.id()) {
+    for (const PiggybackHook& hook : hooks_) {
+      hook(*server, caller);  // reply direction
+    }
+  }
+  return st;
+}
+
+}  // namespace fbufs

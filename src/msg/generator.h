@@ -1,0 +1,57 @@
+// Application data-unit generator (§5.2).
+//
+// The paper's proposed high-bandwidth I/O interface hands applications an
+// immutable buffer aggregate; to spare programmers the non-contiguity, a
+// generator-like operation retrieves data at the granularity of an
+// application-defined unit (a record, a line of text). Copying happens only
+// when a unit straddles a buffer-fragment boundary.
+#ifndef SRC_MSG_GENERATOR_H_
+#define SRC_MSG_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/msg/message.h"
+
+namespace fbufs {
+
+class UnitGenerator {
+ public:
+  // Fixed-size units of |unit_size| bytes over |m|, read by |d|.
+  UnitGenerator(const Message& m, Domain* d, std::uint64_t unit_size);
+
+  // Retrieves the next unit into |out| (resized to the unit length; the last
+  // unit may be short). *zero_copy reports whether the unit lay entirely
+  // within one fragment — the case a real system would return by reference.
+  // Returns kNotFound when the message is exhausted.
+  Status Next(std::vector<std::uint8_t>* out, bool* zero_copy);
+
+  // Retrieves bytes up to and including the next |delimiter| (or the end of
+  // the message) — the "line of text" use case.
+  Status NextDelimited(std::uint8_t delimiter, std::vector<std::uint8_t>* out,
+                       bool* zero_copy);
+
+  bool Done() const { return offset_ >= extents_total_; }
+  std::uint64_t units_returned() const { return units_returned_; }
+  std::uint64_t units_copied() const { return units_copied_; }
+
+ private:
+  // Finds the extent containing message offset |off|; returns the index and
+  // sets |*within| to the offset inside the extent.
+  std::size_t LocateExtent(std::uint64_t off, std::uint64_t* within) const;
+  Status Emit(std::uint64_t len, std::vector<std::uint8_t>* out, bool* zero_copy);
+
+  Message message_;
+  Domain* domain_;
+  std::uint64_t unit_size_;
+  std::vector<Extent> extents_;
+  std::vector<std::uint64_t> extent_starts_;
+  std::uint64_t extents_total_ = 0;
+  std::uint64_t offset_ = 0;
+  std::uint64_t units_returned_ = 0;
+  std::uint64_t units_copied_ = 0;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_MSG_GENERATOR_H_

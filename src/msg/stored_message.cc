@@ -1,0 +1,200 @@
+#include "src/msg/stored_message.h"
+
+#include <cassert>
+#include <cstring>
+#include <unordered_set>
+
+namespace fbufs {
+
+namespace {
+
+// Serializes the extent list as a right-leaning chain rooted at record 0.
+void BuildRecords(const std::vector<Extent>& extents, VirtAddr base,
+                  std::vector<RawNode>* records) {
+  assert(!extents.empty());
+  // Pre-compute record addresses: the chain uses records
+  //   pair_0, pair_1, ..., pair_{n-2}, then leaves l_0..l_{n-1}
+  // with pair_i = (leaf_i, pair_{i+1}) and the last pair's right = leaf_{n-1}.
+  const std::size_t n = extents.size();
+  if (n == 1) {
+    RawNode leaf;
+    leaf.type = RawNode::kLeaf;
+    leaf.a = extents[0].addr;
+    leaf.len = extents[0].len;
+    records->push_back(leaf);
+    return;
+  }
+  const std::size_t pair_count = n - 1;
+  auto record_addr = [base](std::size_t index) {
+    return base + index * sizeof(RawNode);
+  };
+  std::uint64_t total = 0;
+  for (const Extent& e : extents) {
+    total += e.len;
+  }
+  records->resize(pair_count + n);
+  std::uint64_t remaining = total;
+  for (std::size_t i = 0; i < pair_count; ++i) {
+    RawNode& pair = (*records)[i];
+    pair.type = RawNode::kPair;
+    pair.a = record_addr(pair_count + i);  // leaf_i
+    pair.b = i + 1 < pair_count ? record_addr(i + 1) : record_addr(pair_count + n - 1);
+    pair.len = remaining;
+    remaining -= extents[i].len;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    RawNode& leaf = (*records)[pair_count + i];
+    leaf.type = RawNode::kLeaf;
+    leaf.a = extents[i].addr;
+    leaf.len = extents[i].len;
+  }
+}
+
+}  // namespace
+
+Status IntegratedTransfer::Store(Domain& originator, PathId path, const Message& m,
+                                 bool want_volatile, StoredMessage* out) {
+  *out = StoredMessage{};
+  const std::vector<Extent> extents = m.Extents();
+  if (extents.empty()) {
+    return Status::kInvalidArgument;
+  }
+  std::vector<RawNode> records;
+  BuildRecords(extents, 0, &records);
+
+  Fbuf* node_fbuf = nullptr;
+  const std::uint64_t bytes = records.size() * sizeof(RawNode);
+  Status st = fsys_->Allocate(originator, path, bytes, want_volatile, &node_fbuf);
+  if (!Ok(st)) {
+    return st;
+  }
+  // Addresses were computed relative to 0; rebase onto the actual fbuf.
+  std::vector<RawNode> rebased;
+  rebased.reserve(records.size());
+  BuildRecords(extents, node_fbuf->base, &rebased);
+  st = originator.WriteBytes(node_fbuf->base, rebased.data(), bytes);
+  if (!Ok(st)) {
+    fsys_->Free(node_fbuf, originator);
+    return st;
+  }
+
+  out->node_fbuf = node_fbuf;
+  out->root = node_fbuf->base;
+  out->length = m.length();
+  out->fbufs.push_back(node_fbuf);
+  for (Fbuf* fb : m.Fbufs()) {
+    out->fbufs.push_back(fb);
+  }
+  return Status::kOk;
+}
+
+Status IntegratedTransfer::Send(StoredMessage& sm, Domain& from, Domain& to) {
+  for (Fbuf* fb : sm.fbufs) {
+    const Status st = fsys_->Transfer(fb, from, to);
+    if (!Ok(st)) {
+      return st;
+    }
+  }
+  return Status::kOk;
+}
+
+Status IntegratedTransfer::Load(Domain& receiver, VirtAddr root, Message* out,
+                                WalkReport* report, bool strict) {
+  WalkReport local;
+  WalkReport& rep = report != nullptr ? *report : local;
+  rep = WalkReport{};
+  *out = Message();
+
+  if (!InFbufRegion(root) || root % alignof(RawNode) != 0) {
+    rep.bad_pointers++;
+    return strict ? Status::kBadPointer : Status::kOk;
+  }
+
+  Message result;
+  std::unordered_set<VirtAddr> visited;
+  std::vector<VirtAddr> stack{root};
+  while (!stack.empty()) {
+    const VirtAddr addr = stack.back();
+    stack.pop_back();
+    if (rep.nodes_visited >= kMaxNodes) {
+      rep.truncated = true;
+      if (strict) {
+        return Status::kExhausted;
+      }
+      break;
+    }
+    if (!InFbufRegion(addr) || addr % alignof(RawNode) != 0 ||
+        addr + sizeof(RawNode) > kFbufRegionEnd) {
+      rep.bad_pointers++;
+      if (strict) {
+        return Status::kBadPointer;
+      }
+      continue;
+    }
+    if (!visited.insert(addr).second) {
+      rep.cycle_cut++;
+      if (strict) {
+        return Status::kCycle;
+      }
+      continue;
+    }
+    RawNode node;
+    const Status st = receiver.ReadBytes(addr, &node, sizeof(node));
+    if (!Ok(st)) {
+      // Unreadable even via the absent-data path (e.g. out of memory).
+      return st;
+    }
+    rep.nodes_visited++;
+    if (node.type == RawNode::kPair) {
+      stack.push_back(node.b);  // right below left so leaves pop in order
+      stack.push_back(node.a);
+      continue;
+    }
+    if (node.type != RawNode::kLeaf) {
+      rep.bad_pointers++;
+      if (strict) {
+        return Status::kBadPointer;
+      }
+      continue;
+    }
+    if (node.len == 0) {
+      rep.absent_leaves++;
+      continue;
+    }
+    if (!InFbufRegion(node.a) || node.a + node.len > kFbufRegionEnd) {
+      rep.bad_pointers++;
+      if (strict) {
+        return Status::kBadPointer;
+      }
+      result = Message::Concat(result, Message::Absent(node.len));
+      continue;
+    }
+    Fbuf* fb = fsys_->FindByAddr(node.a);
+    if (fb == nullptr || node.a + node.len > fb->end()) {
+      rep.bad_pointers++;
+      if (strict) {
+        return Status::kBadPointer;
+      }
+      result = Message::Concat(result, Message::Absent(node.len));
+      continue;
+    }
+    result = Message::Concat(result, Message::Leaf(fb, node.a - fb->base, node.len));
+  }
+  *out = result;
+  return Status::kOk;
+}
+
+Status IntegratedTransfer::FreeAll(StoredMessage& sm, Domain& holder) {
+  Status first_error = Status::kOk;
+  for (Fbuf* fb : sm.fbufs) {
+    if (fb->IsHeldBy(holder.id())) {
+      const Status st = fsys_->Free(fb, holder);
+      if (!Ok(st) && Ok(first_error)) {
+        first_error = st;
+      }
+    }
+  }
+  return first_error;
+}
+
+}  // namespace fbufs

@@ -1,0 +1,94 @@
+// Integrated buffer management / transfer (§3.2.3) and the safe walker
+// defences for volatile DAGs (§3.2.4).
+//
+// A StoredMessage is an aggregate object whose DAG nodes themselves live in
+// an fbuf, at the same virtual address in every domain of the path. Sending
+// it across a boundary passes only the root reference; the kernel walks the
+// DAG and transfers the reachable fbufs that are not already mapped. The
+// receiver reconstructs a Message view by traversing the stored nodes —
+// defensively, because a volatile DAG can be scribbled by its originator at
+// any time:
+//   * every pointer is range-checked against the fbuf region;
+//   * traversal detects cycles and bounds node count;
+//   * reads of pages the receiver has no mapping for complete as absent
+//     data (the VM maps an all-zero page, which decodes as an empty leaf).
+#ifndef SRC_MSG_STORED_MESSAGE_H_
+#define SRC_MSG_STORED_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fbuf/fbuf_system.h"
+#include "src/msg/message.h"
+
+namespace fbufs {
+
+// On-fbuf node encoding. 32 bytes. An all-zero record decodes as an empty
+// leaf — that is deliberate: the VM's absent-data page (all zeros) must read
+// as "no data here".
+struct RawNode {
+  static constexpr std::uint32_t kLeaf = 0;
+  static constexpr std::uint32_t kPair = 1;
+
+  std::uint32_t type = kLeaf;
+  std::uint32_t reserved = 0;
+  std::uint64_t a = 0;    // leaf: data address | pair: left child address
+  std::uint64_t b = 0;    // leaf: unused       | pair: right child address
+  std::uint64_t len = 0;  // leaf: extent bytes | pair: total bytes
+};
+static_assert(sizeof(RawNode) == 32);
+
+struct StoredMessage {
+  Fbuf* node_fbuf = nullptr;  // holds the serialized DAG; root at offset 0
+  VirtAddr root = 0;
+  std::uint64_t length = 0;
+  // Every fbuf the message needs on the other side: node fbuf first, then
+  // the data fbufs in first-reference order.
+  std::vector<Fbuf*> fbufs;
+};
+
+// Outcome details of a defensive traversal.
+struct WalkReport {
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t bad_pointers = 0;    // out-of-region references substituted
+  std::uint64_t absent_leaves = 0;   // unmapped/zero nodes read as no-data
+  std::uint64_t cycle_cut = 0;       // back-edges cut
+  bool truncated = false;            // node budget exhausted
+};
+
+class IntegratedTransfer {
+ public:
+  // Maximum nodes a single traversal will visit before declaring the DAG
+  // malicious (bounds work even against cycle-free blowups).
+  static constexpr std::uint64_t kMaxNodes = 65536;
+
+  explicit IntegratedTransfer(FbufSystem* fsys) : fsys_(fsys) {}
+
+  // Serializes |m|'s DAG into a fresh node fbuf allocated by |originator| on
+  // |path|, producing a StoredMessage whose root is the node fbuf's base.
+  Status Store(Domain& originator, PathId path, const Message& m, bool want_volatile,
+               StoredMessage* out);
+
+  // Passes the aggregate by reference: transfers the node fbuf and every
+  // reachable data fbuf that is not already mapped in |to|. No list is
+  // marshalled and nothing is rebuilt (that is the optimization).
+  Status Send(StoredMessage& sm, Domain& from, Domain& to);
+
+  // Defensive traversal by |receiver| starting at |root|. On success *out is
+  // a Message view over the referenced extents. With |strict| true, bad
+  // pointers and cycles fail with kBadPointer/kCycle instead of substituting
+  // absent data.
+  Status Load(Domain& receiver, VirtAddr root, Message* out, WalkReport* report = nullptr,
+              bool strict = false);
+
+  // Releases the references |holder| got from Send/Store (node + data
+  // fbufs).
+  Status FreeAll(StoredMessage& sm, Domain& holder);
+
+ private:
+  FbufSystem* fsys_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_MSG_STORED_MESSAGE_H_

@@ -1,0 +1,48 @@
+// Null-modem ATM link between two Osiris boards (the paper's testbed):
+// 622 Mbps raw, 516 Mbps net of cell overhead. The wire is a serial
+// resource; transmission of a PDU occupies it for WireTime(bytes).
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+
+namespace fbufs {
+
+class NullModemLink {
+ public:
+  explicit NullModemLink(const CostParams* costs) : costs_(costs) {}
+
+  // A PDU whose last byte left the sender's adapter at |ready| finishes
+  // crossing the wire at the returned time.
+  SimTime Transmit(std::uint64_t bytes, SimTime ready) {
+    const SimTime start = std::max(ready, busy_until_);
+    busy_until_ = start + costs_->WireTime(bytes);
+    bytes_carried_ += bytes;
+    pdus_carried_++;
+    return busy_until_;
+  }
+
+  SimTime busy_until() const { return busy_until_; }
+  std::uint64_t bytes_carried() const { return bytes_carried_; }
+  std::uint64_t pdus_carried() const { return pdus_carried_; }
+
+  void Reset() {
+    busy_until_ = 0;
+    bytes_carried_ = 0;
+    pdus_carried_ = 0;
+  }
+
+ private:
+  const CostParams* costs_;
+  SimTime busy_until_ = 0;
+  std::uint64_t bytes_carried_ = 0;
+  std::uint64_t pdus_carried_ = 0;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_NET_LINK_H_

@@ -1,0 +1,201 @@
+#include "src/net/testbed.h"
+
+#include <cassert>
+
+namespace fbufs {
+
+namespace {
+
+// Appends |d| unless it repeats the previous element (layers in the same
+// domain collapse to one hop).
+void AppendHop(std::vector<DomainId>* hops, DomainId d) {
+  if (hops->empty() || hops->back() != d) {
+    hops->push_back(d);
+  }
+}
+
+std::uint32_t DomainCount(StackPlacement p) {
+  switch (p) {
+    case StackPlacement::kKernelOnly:
+      return 1;
+    case StackPlacement::kUserKernel:
+      return 2;
+    case StackPlacement::kUserNetserverKernel:
+      return 3;
+  }
+  return 1;
+}
+
+}  // namespace
+
+Testbed::Host::Host(const TestbedConfig& config, bool is_sender)
+    : machine(config.machine), fsys(&machine), rpc(&machine), adapter(&machine.costs()) {
+  fsys.AttachRpc(&rpc);
+
+  Domain* kernel = &machine.kernel();
+  Domain* app = kernel;
+  Domain* udp_dom = kernel;
+  switch (config.placement) {
+    case StackPlacement::kKernelOnly:
+      break;
+    case StackPlacement::kUserKernel:
+      app = machine.CreateDomain("app");
+      break;
+    case StackPlacement::kUserNetserverKernel:
+      app = machine.CreateDomain("app");
+      udp_dom = machine.CreateDomain("netserver");
+      break;
+  }
+
+  ProtocolStack::Config scfg;
+  scfg.integrated = config.integrated;
+  stack = std::make_unique<ProtocolStack>(&machine, &fsys, &rpc, scfg);
+  stack->set_domain_count(DomainCount(config.placement));
+
+  // Data path: the domains a data fbuf visits on this host.
+  std::vector<DomainId> data_hops;
+  if (is_sender) {
+    AppendHop(&data_hops, app->id());
+    AppendHop(&data_hops, udp_dom->id());
+    AppendHop(&data_hops, kernel->id());
+  } else {
+    AppendHop(&data_hops, kernel->id());
+    AppendHop(&data_hops, udp_dom->id());
+    AppendHop(&data_hops, app->id());
+  }
+  const bool side_cached = is_sender ? config.sender_cached : config.cached;
+  PathId data_path = kNoPath;
+  PathId udp_hdr_path = kNoPath;
+  PathId ip_hdr_path = kNoPath;
+  if (side_cached) {
+    data_path = fsys.paths().Register(data_hops);
+  }
+  // Header fbufs are always path-cached: protocols know their own domain
+  // sequence regardless of the adapter's demux ability.
+  std::vector<DomainId> hdr_hops;
+  AppendHop(&hdr_hops, udp_dom->id());
+  AppendHop(&hdr_hops, kernel->id());
+  udp_hdr_path = fsys.paths().Register(hdr_hops);
+  ip_hdr_path = fsys.paths().Register({kernel->id()});
+
+  udp = std::make_unique<UdpProtocol>(udp_dom, stack.get(), udp_hdr_path);
+  ip = std::make_unique<IpProtocol>(kernel, stack.get(), ip_hdr_path, config.pdu_size);
+  driver = std::make_unique<DriverProtocol>(kernel, stack.get(), &adapter, kVci);
+
+  if (is_sender) {
+    source = std::make_unique<SourceProtocol>(app, stack.get(), data_path,
+                                              config.volatile_fbufs);
+    source->set_below(udp.get());
+    udp->set_below(ip.get());
+    udp->SetDefaultPorts(1000, 2000);
+    ip->set_below(driver.get());
+  } else {
+    sink = std::make_unique<SinkProtocol>(app, stack.get());
+    driver->set_above(ip.get());
+    ip->set_above(udp.get());
+    udp->Bind(2000, sink.get());
+    if (config.cached) {
+      // The adapter demuxes this VCI into pre-allocated per-path buffers;
+      // without registration every PDU falls back to the uncached queue.
+      adapter.RegisterVci(kVci, data_path);
+    }
+  }
+}
+
+Testbed::Testbed(const TestbedConfig& config)
+    : config_(config),
+      sender_(std::make_unique<Host>(config, /*is_sender=*/true)),
+      receiver_(std::make_unique<Host>(config, /*is_sender=*/false)),
+      link_(&sender_->machine.costs()) {
+  sender_->driver->set_on_transmit(
+      [this](std::vector<std::uint8_t> payload, std::uint32_t vci) {
+        (void)vci;
+        staged_.push_back(StagedPdu{std::move(payload), sender_->machine.clock().Now()});
+      });
+}
+
+Testbed::Result Testbed::Run(std::uint64_t messages, std::uint64_t bytes,
+                             std::uint64_t warmup) {
+  Result result;
+  result.messages = messages;
+  result.bytes = messages * bytes;
+
+  SimClock& tx_clock = sender_->machine.clock();
+  SimClock& rx_clock = receiver_->machine.clock();
+  const std::uint64_t total = warmup + messages;
+  SimTime tx_busy = 0;
+  SimTime rx_busy = 0;
+  std::vector<SimTime> ack_time(total, 0);
+  SimTime t0_tx = tx_clock.Now();
+  SimTime t0_rx = rx_clock.Now();
+
+  for (std::uint64_t m = 0; m < total; ++m) {
+    if (m == warmup) {
+      t0_tx = tx_clock.Now();
+      t0_rx = rx_clock.Now();
+      tx_busy = 0;
+      rx_busy = 0;
+    }
+    // Sliding-window flow control: do not run more than |window| messages
+    // ahead of the receiver's acknowledgements.
+    if (config_.window > 0 && m >= config_.window) {
+      tx_clock.AdvanceTo(ack_time[m - config_.window]);
+    }
+
+    const SimTime tx_before = tx_clock.Now();
+    const Status st = sender_->source->SendOne(bytes);
+    if (!Ok(st)) {
+      result.throughput_mbps = -1;
+      return result;
+    }
+    tx_busy += tx_clock.Now() - tx_before;
+
+    // Drain this message's PDUs through adapter DMA -> wire -> adapter DMA
+    // -> receiver stack.
+    while (!staged_.empty()) {
+      StagedPdu pdu = std::move(staged_.front());
+      staged_.pop_front();
+      // The PDU really crosses as ATM cells: segment with the AAL5 trailer,
+      // reassemble (length + CRC verified) on the receiving board.
+      const std::vector<AtmCell> cells = AtmSegmenter::Segment(pdu.payload, kVci);
+      const std::uint64_t wire_bytes = cells.size() * AtmCell::kPayloadBytes;
+      const SimTime tx_dma_done = sender_->adapter.TxDma(wire_bytes, pdu.ready);
+      const SimTime arrived = link_.Transmit(wire_bytes, tx_dma_done);
+      const SimTime rx_dma_done = receiver_->adapter.RxDma(wire_bytes, arrived);
+      std::vector<std::uint8_t> reassembled;
+      Status cell_st = Status::kExhausted;
+      for (const AtmCell& cell : cells) {
+        cell_st = reassembler_.Push(cell, &reassembled);
+      }
+      if (!Ok(cell_st)) {
+        result.throughput_mbps = -1;  // CRC failure cannot happen on this link
+        return result;
+      }
+      rx_clock.AdvanceTo(rx_dma_done);
+      const SimTime rx_before = rx_clock.Now();
+      const Status rst =
+          receiver_->driver->DeliverPdu(reassembled, kVci, config_.volatile_fbufs);
+      if (!Ok(rst)) {
+        result.throughput_mbps = -1;
+        return result;
+      }
+      rx_busy += rx_clock.Now() - rx_before;
+    }
+    // The acknowledgement rides back over the (otherwise idle) reverse
+    // channel: one cell's worth of latency.
+    ack_time[m] = rx_clock.Now() + sender_->machine.costs().WireTime(48);
+  }
+
+  const SimTime tx_elapsed = tx_clock.Now() - t0_tx;
+  const SimTime rx_elapsed = rx_clock.Now() - t0_rx;
+  result.elapsed_ns = std::max(
+      {tx_elapsed, rx_elapsed, link_.busy_until() - t0_tx});
+  result.throughput_mbps =
+      static_cast<double>(result.bytes) * 8.0 * 1000.0 / static_cast<double>(result.elapsed_ns);
+  result.sender_cpu_load = static_cast<double>(tx_busy) / static_cast<double>(result.elapsed_ns);
+  result.receiver_cpu_load =
+      static_cast<double>(rx_busy) / static_cast<double>(result.elapsed_ns);
+  return result;
+}
+
+}  // namespace fbufs

@@ -1,0 +1,116 @@
+// Two DecStations connected by a null modem between their Osiris boards:
+// the paper's end-to-end UDP/IP experiment (Figures 5 and 6, and the §4 CPU
+// load measurements).
+//
+// Each host is a full simulated machine (own clock, VM, fbuf system, IPC,
+// protocol stack, adapter). Data really crosses: PDU bytes are gathered
+// from the sender's physical frames and scattered into receiver fbufs.
+// Throughput and CPU load come from the pipeline of four serial resources:
+// sender CPU, sender-side bus DMA, the wire, receiver-side bus DMA and
+// receiver CPU — each modelled with its own busy-until timeline, CPU time
+// being whatever the real protocol stack charges.
+#ifndef SRC_NET_TESTBED_H_
+#define SRC_NET_TESTBED_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/net/atm.h"
+#include "src/net/driver.h"
+#include "src/net/link.h"
+#include "src/net/osiris.h"
+#include "src/proto/ip.h"
+#include "src/proto/loopback_stack.h"
+#include "src/proto/test_protocols.h"
+#include "src/proto/udp.h"
+
+namespace fbufs {
+
+// Where the stack's layers live (per host; both hosts are configured the
+// same way, mirrored, as in the paper).
+enum class StackPlacement {
+  kKernelOnly,          // everything in the kernel (Fig 5 "kernel-kernel")
+  kUserKernel,          // test protocol in a user domain ("user-user")
+  kUserNetserverKernel  // UDP in a netserver domain ("user-netserver-user")
+};
+
+struct TestbedConfig {
+  StackPlacement placement = StackPlacement::kUserKernel;
+  std::uint64_t pdu_size = 16 * 1024;  // IP PDU (paper: 16 KB; 32 KB variant in §4)
+  // Receiver-side reassembly buffers: cached per-VCI fbufs vs the uncached
+  // fallback queue. Per the paper's footnote 5, uncached fbufs incur
+  // additional cost only in the receiving host.
+  bool cached = true;
+  // Sender-side immutability: volatile vs secured-on-transfer. Non-volatile
+  // fbufs cost only in the transmitting host (the receiver's originator is
+  // the trusted kernel).
+  bool volatile_fbufs = true;
+  // Sender-side allocator caching (kept on even in the Figure 6
+  // configuration; turn off to study a fully uncached sender).
+  bool sender_cached = true;
+  std::uint32_t window = 8;  // sliding-window flow control, in messages
+  bool integrated = true;
+  MachineConfig machine;     // cost model for both hosts
+};
+
+class Testbed {
+ public:
+  explicit Testbed(const TestbedConfig& config);
+
+  struct Result {
+    double throughput_mbps = 0;
+    double sender_cpu_load = 0;
+    double receiver_cpu_load = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    SimTime elapsed_ns = 0;
+  };
+
+  // Streams |messages| test messages of |bytes| each from the sender's test
+  // protocol to the receiver's sink. |warmup| extra messages are sent first
+  // and excluded from the measurement (pipeline fill, cold fbuf caches).
+  Result Run(std::uint64_t messages, std::uint64_t bytes, std::uint64_t warmup = 0);
+
+  // One host: a complete machine with its protocol stack.
+  struct Host {
+    explicit Host(const TestbedConfig& config, bool is_sender);
+
+    Machine machine;
+    FbufSystem fsys;
+    Rpc rpc;
+    OsirisAdapter adapter;
+    std::unique_ptr<ProtocolStack> stack;
+    // Sender side uses source/udp/ip/driver; receiver driver/ip/udp/sink.
+    std::unique_ptr<SourceProtocol> source;
+    std::unique_ptr<UdpProtocol> udp;
+    std::unique_ptr<IpProtocol> ip;
+    std::unique_ptr<DriverProtocol> driver;
+    std::unique_ptr<SinkProtocol> sink;
+  };
+
+  Host& sender() { return *sender_; }
+  Host& receiver() { return *receiver_; }
+  NullModemLink& link() { return link_; }
+
+  static constexpr std::uint32_t kVci = 42;
+
+ private:
+  struct StagedPdu {
+    std::vector<std::uint8_t> payload;
+    SimTime ready = 0;
+  };
+
+  TestbedConfig config_;
+  std::unique_ptr<Host> sender_;
+  std::unique_ptr<Host> receiver_;
+  NullModemLink link_;
+  std::deque<StagedPdu> staged_;
+  // Cell-level reassembly on the receiving adapter (single VCI in use).
+  AtmReassembler reassembler_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_NET_TESTBED_H_

@@ -1,0 +1,57 @@
+#include "src/proto/loopback_stack.h"
+
+namespace fbufs {
+
+LoopbackStack::LoopbackStack(Machine* machine, FbufSystem* fsys, Rpc* rpc,
+                             const LoopbackStackConfig& config)
+    : machine_(machine) {
+  ProtocolStack::Config scfg;
+  scfg.integrated = config.integrated;
+  stack_ = std::make_unique<ProtocolStack>(machine, fsys, rpc, scfg);
+
+  Domain* src_dom;
+  Domain* net_dom;
+  Domain* dst_dom;
+  if (config.three_domains) {
+    src_dom = machine->CreateDomain("originator");
+    net_dom = machine->CreateDomain("netserver");
+    dst_dom = machine->CreateDomain("receiver");
+    stack_->set_domain_count(3);
+  } else {
+    src_dom = net_dom = dst_dom = machine->CreateDomain("monolith");
+    stack_->set_domain_count(1);
+  }
+
+  // Data path: originator's buffers visit the network server and the
+  // receiver. Header fbufs never leave the network server's domain.
+  // In the uncached configuration every allocation — headers included —
+  // goes through the default allocator, as when no data path can be
+  // identified (§5.2).
+  PathId data_path = kNoPath;
+  PathId hdr_path = kNoPath;
+  if (config.cached_paths) {
+    if (config.three_domains) {
+      data_path = fsys->paths().Register({src_dom->id(), net_dom->id(), dst_dom->id()});
+    } else {
+      data_path = fsys->paths().Register({src_dom->id()});
+    }
+    hdr_path = fsys->paths().Register({net_dom->id()});
+  }
+
+  source_ = std::make_unique<SourceProtocol>(src_dom, stack_.get(), data_path,
+                                             config.volatile_fbufs);
+  udp_ = std::make_unique<UdpProtocol>(net_dom, stack_.get(), hdr_path);
+  ip_ = std::make_unique<IpProtocol>(net_dom, stack_.get(), hdr_path, config.pdu_size);
+  loopback_ = std::make_unique<LoopbackProtocol>(net_dom, stack_.get());
+  sink_ = std::make_unique<SinkProtocol>(dst_dom, stack_.get());
+
+  source_->set_below(udp_.get());
+  udp_->set_below(ip_.get());
+  udp_->SetDefaultPorts(1000, 2000);
+  udp_->Bind(2000, sink_.get());
+  ip_->set_above(udp_.get());
+  ip_->set_below(loopback_.get());
+  loopback_->set_above(ip_.get());
+}
+
+}  // namespace fbufs

@@ -1,0 +1,56 @@
+// The paper's Figure 4 configuration: a UDP/IP stack with a local loopback
+// protocol below IP ("an infinitely fast network"), either entirely inside
+// one protection domain or spread over three (originator, network server,
+// receiver).
+//
+//   source (S)  -->  UDP (N)  -->  IP (N)  -->  loopback (N)
+//                                                  |
+//   sink (R)   <--  UDP (N)  <--  IP (N)  <--------+
+#ifndef SRC_PROTO_LOOPBACK_STACK_H_
+#define SRC_PROTO_LOOPBACK_STACK_H_
+
+#include <memory>
+
+#include "src/proto/ip.h"
+#include "src/proto/protocol.h"
+#include "src/proto/test_protocols.h"
+#include "src/proto/udp.h"
+
+namespace fbufs {
+
+struct LoopbackStackConfig {
+  std::uint64_t pdu_size = 4096;  // IP fragment body size (paper: 4 KB)
+  bool three_domains = true;      // false: everything in a single domain
+  bool cached_paths = true;       // uncached fbufs when false
+  bool volatile_fbufs = true;
+  bool integrated = true;         // integrated aggregate transfer at edges
+};
+
+class LoopbackStack {
+ public:
+  LoopbackStack(Machine* machine, FbufSystem* fsys, Rpc* rpc,
+                const LoopbackStackConfig& config);
+
+  // Sends one test message of |bytes| through the whole path.
+  Status SendMessage(std::uint64_t bytes) { return source_->SendOne(bytes); }
+
+  SourceProtocol& source() { return *source_; }
+  SinkProtocol& sink() { return *sink_; }
+  IpProtocol& ip() { return *ip_; }
+  UdpProtocol& udp() { return *udp_; }
+  ProtocolStack& stack() { return *stack_; }
+  Machine& machine() { return *machine_; }
+
+ private:
+  Machine* machine_;
+  std::unique_ptr<ProtocolStack> stack_;
+  std::unique_ptr<SourceProtocol> source_;
+  std::unique_ptr<UdpProtocol> udp_;
+  std::unique_ptr<IpProtocol> ip_;
+  std::unique_ptr<LoopbackProtocol> loopback_;
+  std::unique_ptr<SinkProtocol> sink_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_PROTO_LOOPBACK_STACK_H_

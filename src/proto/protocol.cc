@@ -1,0 +1,75 @@
+#include "src/proto/protocol.h"
+
+#include <cassert>
+
+namespace fbufs {
+
+Status Protocol::SendDown(const Message& m) {
+  assert(below_ != nullptr);
+  return stack_->Deliver(m, this, below_, /*down=*/true);
+}
+
+Status Protocol::SendUp(const Message& m) {
+  assert(above_ != nullptr);
+  return stack_->Deliver(m, this, above_, /*down=*/false);
+}
+
+Status Protocol::SendUpTo(Protocol* client, const Message& m) {
+  assert(client != nullptr);
+  return stack_->Deliver(m, this, client, /*down=*/false);
+}
+
+Status ProtocolStack::Deliver(const Message& m, Protocol* from, Protocol* to, bool down) {
+  Domain& src = *from->domain();
+  Domain& dst = *to->domain();
+  if (src.id() == dst.id()) {
+    return down ? to->Push(m) : to->Pop(m);
+  }
+
+  // Proxy edge: a cross-domain invocation carrying the aggregate.
+  const std::vector<Fbuf*> fbufs = m.Fbufs();
+  if (!config_.integrated) {
+    // Steps 2a/3c of the base mechanism: build the fbuf list in the sender,
+    // rebuild the aggregate in the receiver.
+    machine_->clock().Advance(2 * fbufs.size() * machine_->costs().fbuf_list_marshal_ns);
+  }
+  const bool lazy = !to->touches_body();
+  for (Fbuf* fb : fbufs) {
+    const Status st = fsys_->Transfer(fb, src, dst, lazy);
+    if (!Ok(st)) {
+      return st;
+    }
+  }
+  if (domain_count_ > 2) {
+    // §4: a third domain on the path thrashes TLB and instruction cache
+    // (no shared libraries: protocol-infrastructure text is duplicated).
+    machine_->clock().Advance((domain_count_ - 2) * machine_->costs().cache_pressure_ns);
+  }
+  const Status st = rpc_->Invoke(src, dst, [&] { return down ? to->Push(m) : to->Pop(m); });
+  // Synchronous delivery complete: the receiving domain's references die
+  // unless the callee retained explicitly.
+  const Status free_st = FreeMessage(m, dst);
+  return Ok(st) ? free_st : st;
+}
+
+Status ProtocolStack::FreeMessage(const Message& m, Domain& d) {
+  for (Fbuf* fb : m.Fbufs()) {
+    const Status st = fsys_->Free(fb, d);
+    if (!Ok(st)) {
+      return st;
+    }
+  }
+  return Status::kOk;
+}
+
+Status ProtocolStack::RetainMessage(const Message& m, Domain& d) {
+  for (Fbuf* fb : m.Fbufs()) {
+    const Status st = fsys_->AddRef(fb, d);
+    if (!Ok(st)) {
+      return st;
+    }
+  }
+  return Status::kOk;
+}
+
+}  // namespace fbufs

@@ -1,0 +1,166 @@
+#include "src/proto/swp.h"
+
+namespace fbufs {
+
+Status SwpProtocol::TransmitData(std::uint32_t seq, const Message& m) {
+  Machine& machine = *stack_->machine();
+  machine.clock().Advance(machine.costs().proto_pdu_ns);
+  Fbuf* hdr_fb = nullptr;
+  Status st = stack_->fsys()->Allocate(*domain(), hdr_path_, sizeof(SwpHeader),
+                                       /*want_volatile=*/true, &hdr_fb);
+  if (!Ok(st)) {
+    return st;
+  }
+  SwpHeader h;
+  h.type = SwpHeader::kData;
+  h.seq = seq;
+  h.len = m.length();
+  st = domain()->WriteBytes(hdr_fb->base, &h, sizeof(h));
+  if (Ok(st)) {
+    st = SendDown(Message::Concat(Message::Whole(hdr_fb), m));
+  }
+  const Status free_st = stack_->fsys()->Free(hdr_fb, *domain());
+  return Ok(st) ? free_st : st;
+}
+
+Status SwpProtocol::TransmitAck() {
+  Machine& machine = *stack_->machine();
+  machine.clock().Advance(machine.costs().proto_pdu_ns);
+  Fbuf* hdr_fb = nullptr;
+  Status st = stack_->fsys()->Allocate(*domain(), hdr_path_, sizeof(SwpHeader),
+                                       /*want_volatile=*/true, &hdr_fb);
+  if (!Ok(st)) {
+    return st;
+  }
+  SwpHeader h;
+  h.type = SwpHeader::kAck;
+  h.seq = recv_next_;
+  h.len = 0;
+  st = domain()->WriteBytes(hdr_fb->base, &h, sizeof(h));
+  if (Ok(st)) {
+    acks_sent_++;
+    st = SendDown(Message::Whole(hdr_fb));
+  }
+  const Status free_st = stack_->fsys()->Free(hdr_fb, *domain());
+  return Ok(st) ? free_st : st;
+}
+
+Status SwpProtocol::Push(Message m) {
+  if (outstanding_.size() >= window_) {
+    return Status::kExhausted;
+  }
+  // Copy semantics at work: retain a reference so the data stays intact and
+  // accessible for retransmission, no matter what the producer does next
+  // with its own references.
+  Status st = stack_->RetainMessage(m, *domain());
+  if (!Ok(st)) {
+    return st;
+  }
+  const std::uint32_t seq = next_seq_++;
+  outstanding_[seq] = m;
+  return TransmitData(seq, m);
+}
+
+Status SwpProtocol::Tick() {
+  // A retransmitted frame can be acknowledged synchronously (the ack rides
+  // back inside TransmitData's call chain) and erase outstanding_ entries,
+  // so iterate over a snapshot of the sequence numbers.
+  std::vector<std::uint32_t> seqs;
+  seqs.reserve(outstanding_.size());
+  for (const auto& [seq, m] : outstanding_) {
+    seqs.push_back(seq);
+  }
+  for (const std::uint32_t seq : seqs) {
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) {
+      continue;  // acked by an earlier retransmission this tick
+    }
+    retransmissions_++;
+    const Status st = TransmitData(seq, it->second);
+    if (!Ok(st)) {
+      return st;
+    }
+  }
+  return Status::kOk;
+}
+
+Status SwpProtocol::DeliverReady() {
+  while (true) {
+    auto it = stash_.find(recv_next_);
+    if (it == stash_.end()) {
+      return Status::kOk;
+    }
+    Message ready = it->second;
+    stash_.erase(it);
+    recv_next_++;
+    delivered_in_order_++;
+    const Status st = SendUp(ready);
+    // Release the references taken when the frame was stashed.
+    const Status free_st = stack_->FreeMessage(ready, *domain());
+    if (!Ok(st)) {
+      return st;
+    }
+    if (!Ok(free_st)) {
+      return free_st;
+    }
+  }
+}
+
+Status SwpProtocol::Pop(Message m) {
+  Machine& machine = *stack_->machine();
+  machine.clock().Advance(machine.costs().proto_pdu_ns);
+  SwpHeader h;
+  Status st = m.CopyOut(*domain(), 0, &h, sizeof(h));
+  if (!Ok(st)) {
+    return st;
+  }
+
+  if (h.type == SwpHeader::kAck) {
+    // Cumulative: everything below h.seq is delivered; drop retentions.
+    while (!outstanding_.empty() && outstanding_.begin()->first < h.seq) {
+      const Status free_st = stack_->FreeMessage(outstanding_.begin()->second, *domain());
+      if (!Ok(free_st)) {
+        return free_st;
+      }
+      outstanding_.erase(outstanding_.begin());
+    }
+    if (h.seq > send_base_) {
+      send_base_ = h.seq;
+    }
+    return Status::kOk;
+  }
+  if (h.type != SwpHeader::kData) {
+    return Status::kInvalidArgument;
+  }
+
+  const Message body = m.Slice(sizeof(SwpHeader), h.len);
+  if (body.length() < h.len) {
+    return Status::kTruncated;
+  }
+  if (h.seq < recv_next_ || stash_.count(h.seq) != 0) {
+    duplicates_dropped_++;
+    return TransmitAck();  // re-ack so the sender stops retransmitting
+  }
+  if (h.seq == recv_next_) {
+    recv_next_++;
+    delivered_in_order_++;
+    st = SendUp(body);
+    if (!Ok(st)) {
+      return st;
+    }
+    st = DeliverReady();
+    if (!Ok(st)) {
+      return st;
+    }
+  } else {
+    // Out of order: retain and stash until the gap fills.
+    st = stack_->RetainMessage(body, *domain());
+    if (!Ok(st)) {
+      return st;
+    }
+    stash_[h.seq] = body;
+  }
+  return TransmitAck();
+}
+
+}  // namespace fbufs

@@ -1,0 +1,124 @@
+// SWP: a sliding-window reliable transport protocol over the message
+// abstraction, in the x-kernel tradition.
+//
+// This is the extension that shows *why* fbufs provide copy rather than
+// move semantics (§2.1.3): a reliable sender must retain access to
+// transmitted data until it is acknowledged, because it may need to
+// retransmit — with immutable, reference-counted fbufs the retention is a
+// reference, never a copy. The receiver buffers out-of-order frames the
+// same way.
+//
+// Frames carry a small header (type, sequence, length); acknowledgements
+// are cumulative. Retransmission is driven by explicit Tick() calls (the
+// simulator's notion of a timer interrupt).
+#ifndef SRC_PROTO_SWP_H_
+#define SRC_PROTO_SWP_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/proto/protocol.h"
+#include "src/sim/rng.h"
+
+namespace fbufs {
+
+struct SwpHeader {
+  static constexpr std::uint32_t kData = 0x5350'4441;  // "SPDA"
+  static constexpr std::uint32_t kAck = 0x5350'4143;   // "SPAC"
+
+  std::uint32_t type = kData;
+  std::uint32_t seq = 0;   // data: frame number | ack: next expected frame
+  std::uint64_t len = 0;   // data payload bytes
+};
+static_assert(sizeof(SwpHeader) == 16);
+
+class SwpProtocol : public Protocol {
+ public:
+  SwpProtocol(Domain* domain, ProtocolStack* stack, PathId hdr_path,
+              std::uint32_t window = 8)
+      : Protocol("swp", domain, stack), hdr_path_(hdr_path), window_(window) {}
+
+  // --- Sender side ------------------------------------------------------------
+  // Accepts a message when the window has room (kExhausted otherwise),
+  // retains it for possible retransmission, and transmits a data frame.
+  Status Push(Message m) override;
+
+  // Retransmits every unacknowledged frame (timer fired). Idempotent when
+  // nothing is outstanding.
+  Status Tick();
+
+  // --- Receiver side -----------------------------------------------------------
+  // Handles an arriving frame: data frames are acknowledged (cumulative)
+  // and delivered upward in order; ack frames release retained references.
+  Status Pop(Message m) override;
+
+  bool touches_body() const override { return false; }
+
+  std::uint32_t unacked() const { return static_cast<std::uint32_t>(outstanding_.size()); }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  std::uint64_t delivered_in_order() const { return delivered_in_order_; }
+  std::uint32_t next_seq() const { return next_seq_; }
+
+ private:
+  Status TransmitData(std::uint32_t seq, const Message& m);
+  Status TransmitAck();
+  Status DeliverReady();
+
+  PathId hdr_path_;
+  std::uint32_t window_;
+
+  // Sender state: retained frames awaiting acknowledgement.
+  std::uint32_t next_seq_ = 0;
+  std::uint32_t send_base_ = 0;
+  std::map<std::uint32_t, Message> outstanding_;
+
+  // Receiver state: next frame to deliver and the out-of-order stash.
+  std::uint32_t recv_next_ = 0;
+  std::map<std::uint32_t, Message> stash_;
+
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
+  std::uint64_t delivered_in_order_ = 0;
+};
+
+// A deliberately unreliable hop for failure injection: drops a configurable
+// fraction of frames and can duplicate or reorder. Wire it below two SWP
+// peers; Push on one side Pops on the other.
+class LossyChannel : public Protocol {
+ public:
+  LossyChannel(Domain* domain, ProtocolStack* stack, std::uint64_t seed,
+               std::uint32_t drop_percent)
+      : Protocol("lossy-channel", domain, stack), rng_(seed), drop_percent_(drop_percent) {}
+
+  // The protocol whose Pop receives what the *other* side pushes.
+  void set_peer_above(Protocol* p) { peer_above_ = p; }
+
+  Status Push(Message m) override {
+    if (rng_.Chance(drop_percent_, 100)) {
+      dropped_++;
+      return Status::kOk;  // the wire ate it
+    }
+    forwarded_++;
+    return SendUpTo(peer_above_, m);
+  }
+  Status Pop(Message) override { return Status::kInvalidArgument; }
+
+  bool touches_body() const override { return false; }
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  Rng rng_;
+  std::uint32_t drop_percent_;
+  Protocol* peer_above_ = nullptr;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_PROTO_SWP_H_

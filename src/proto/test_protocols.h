@@ -1,0 +1,102 @@
+// The paper's measurement protocols: a test (source) protocol that
+// repeatedly creates messages and a dummy (sink) protocol that touches one
+// word per page of whatever reaches it, then lets the references drop.
+#ifndef SRC_PROTO_TEST_PROTOCOLS_H_
+#define SRC_PROTO_TEST_PROTOCOLS_H_
+
+#include <cstdint>
+
+#include "src/proto/protocol.h"
+
+namespace fbufs {
+
+// Originator-side test protocol: allocates an fbuf on its data path, writes
+// one word in each page, and pushes the message down the stack.
+class SourceProtocol : public Protocol {
+ public:
+  SourceProtocol(Domain* domain, ProtocolStack* stack, PathId data_path,
+                 bool volatile_fbufs = true)
+      : Protocol("test-source", domain, stack),
+        data_path_(data_path),
+        volatile_(volatile_fbufs) {}
+
+  // One paper iteration: allocate, write, send, release.
+  Status SendOne(std::uint64_t bytes) {
+    Fbuf* fb = nullptr;
+    Status st = stack_->fsys()->Allocate(*domain(), data_path_, bytes, volatile_, &fb);
+    if (!Ok(st)) {
+      return st;
+    }
+    st = domain()->TouchRange(fb->base, bytes, Access::kWrite);
+    if (!Ok(st)) {
+      return st;
+    }
+    st = SendDown(Message::Whole(fb));
+    const Status free_st = stack_->fsys()->Free(fb, *domain());
+    sent_++;
+    bytes_sent_ += bytes;
+    return Ok(st) ? free_st : st;
+  }
+
+  Status Push(Message) override { return Status::kInvalidArgument; }
+  Status Pop(Message) override { return Status::kOk; }  // ignores upcalls
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  PathId data_path_;
+  bool volatile_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+// Receiver-side dummy protocol: reads one word in each page of the received
+// message and returns; the proxy edge then drops this domain's references.
+class SinkProtocol : public Protocol {
+ public:
+  SinkProtocol(Domain* domain, ProtocolStack* stack)
+      : Protocol("dummy-sink", domain, stack) {}
+
+  Status Push(Message) override { return Status::kInvalidArgument; }
+
+  Status Pop(Message m) override {
+    const Status st = m.Touch(*domain(), Access::kRead);
+    if (!Ok(st)) {
+      return st;
+    }
+    received_++;
+    bytes_received_ += m.length();
+    return Status::kOk;
+  }
+
+  std::uint64_t received() const { return received_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  std::uint64_t received_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+// "Infinitely fast network": sits below IP, turns PDUs around and sends
+// them back up the stack (the paper's local loopback experiment, Figure 4).
+class LoopbackProtocol : public Protocol {
+ public:
+  LoopbackProtocol(Domain* domain, ProtocolStack* stack)
+      : Protocol("loopback", domain, stack) {}
+
+  Status Push(Message m) override {
+    turned_around_++;
+    return SendUp(m);
+  }
+  Status Pop(Message) override { return Status::kInvalidArgument; }
+
+  std::uint64_t turned_around() const { return turned_around_; }
+
+ private:
+  std::uint64_t turned_around_ = 0;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_PROTO_TEST_PROTOCOLS_H_

@@ -1,0 +1,48 @@
+// Simulated time base for one host.
+//
+// All costs in the simulator are expressed in nanoseconds of simulated time
+// and accumulated on a SimClock. A Machine owns one clock; throughput numbers
+// reported by the benches are bytes divided by simulated elapsed time.
+#ifndef SRC_SIM_CLOCK_H_
+#define SRC_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace fbufs {
+
+// Nanoseconds of simulated time.
+using SimTime = std::uint64_t;
+
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+// Monotonic simulated clock. Not thread safe; the simulator is
+// single-threaded and deterministic by design.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  // Current simulated time since construction (or the last Reset).
+  SimTime Now() const { return now_ns_; }
+
+  // Advances the clock by |ns| nanoseconds of simulated work.
+  void Advance(SimTime ns) { now_ns_ += ns; }
+
+  // Moves the clock forward to |t| if |t| is in the future; used when a host
+  // blocks on an external event (e.g. the link delivering the next cell).
+  void AdvanceTo(SimTime t) {
+    if (t > now_ns_) {
+      now_ns_ = t;
+    }
+  }
+
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  SimTime now_ns_ = 0;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_SIM_CLOCK_H_

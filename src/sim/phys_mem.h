@@ -1,0 +1,68 @@
+// Physical memory: a real byte arena divided into page frames.
+//
+// Data in the simulator genuinely lives here. Zero-copy transfer is
+// observable as two domains translating to the same frame; a copying
+// facility performs an actual memcpy between frames. Frames are reference
+// counted so copy-on-write and shared fbuf mappings can share them.
+#ifndef SRC_SIM_PHYS_MEM_H_
+#define SRC_SIM_PHYS_MEM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/stats.h"
+
+namespace fbufs {
+
+// Index of a physical page frame.
+using FrameId = std::uint32_t;
+constexpr FrameId kInvalidFrame = static_cast<FrameId>(-1);
+
+class PhysMem {
+ public:
+  // |frames| page frames of backing store. The arena is allocated up front;
+  // ~64 MB at the default 16384 frames.
+  PhysMem(std::uint32_t frames, SimClock* clock, const CostParams* costs, SimStats* stats);
+
+  PhysMem(const PhysMem&) = delete;
+  PhysMem& operator=(const PhysMem&) = delete;
+
+  // Allocates one frame with reference count 1. If |clear| is true the frame
+  // is filled with zeros and the page-clear cost is charged (security
+  // clearing of memory recycled across protection domains).
+  // Returns nullopt when physical memory is exhausted.
+  std::optional<FrameId> Allocate(bool clear);
+
+  // Increments the reference count (a new mapping shares the frame).
+  void Ref(FrameId frame);
+
+  // Drops one reference; frees the frame when the count reaches zero.
+  void Unref(FrameId frame);
+
+  std::uint32_t RefCount(FrameId frame) const;
+
+  // Direct access to the frame's bytes (kPageSize of them). Only the VM
+  // layer and devices (DMA) should touch frames directly; domain code goes
+  // through Domain accessors so permissions and TLB behaviour apply.
+  std::uint8_t* Data(FrameId frame);
+  const std::uint8_t* Data(FrameId frame) const;
+
+  std::uint32_t total_frames() const { return total_frames_; }
+  std::uint32_t free_frames() const { return static_cast<std::uint32_t>(free_list_.size()); }
+
+ private:
+  std::uint32_t total_frames_;
+  SimClock* clock_;
+  const CostParams* costs_;
+  SimStats* stats_;
+  std::vector<std::uint8_t> arena_;
+  std::vector<std::uint32_t> refcount_;
+  std::vector<FrameId> free_list_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_SIM_PHYS_MEM_H_

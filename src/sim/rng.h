@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generator for workload generation.
+//
+// SplitMix64: tiny, fast, and identical across platforms, so property tests
+// and benches are reproducible bit-for-bit.
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace fbufs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound); bound must be nonzero.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  // True with probability num/den.
+  bool Chance(std::uint64_t num, std::uint64_t den) { return Below(den) < num; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_SIM_RNG_H_

@@ -1,0 +1,44 @@
+// Operation counters for the simulated machine.
+//
+// Counters let tests assert on mechanism ("a cached reuse performs zero
+// page-table updates") and let benches decompose where time goes.
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fbufs {
+
+struct SimStats {
+  std::uint64_t pt_updates = 0;        // physical page-table entry updates
+  std::uint64_t tlb_flushes = 0;       // per-page TLB/cache consistency actions
+  std::uint64_t tlb_misses = 0;        // software-serviced TLB refills
+  std::uint64_t page_faults = 0;       // faults taken (COW, zero-fill, absent)
+  std::uint64_t prot_faults = 0;       // access violations (protection errors)
+  std::uint64_t pages_cleared = 0;     // security page clears
+  std::uint64_t pages_swapped_out = 0;  // fbuf pages written to backing store
+  std::uint64_t pages_swapped_in = 0;   // fbuf pages faulted back in
+  std::uint64_t pages_allocated = 0;   // physical frames handed out
+  std::uint64_t pages_freed = 0;       // physical frames returned
+  std::uint64_t bytes_copied = 0;      // bytes physically copied
+  std::uint64_t va_allocs = 0;         // virtual address range reservations
+  std::uint64_t ipc_calls = 0;         // cross-domain RPCs
+  std::uint64_t fbuf_allocs = 0;       // fbuf allocations (cached hits included)
+  std::uint64_t fbuf_cache_hits = 0;   // allocations served from a free list
+  std::uint64_t fbuf_transfers = 0;    // cross-domain fbuf transfers
+  std::uint64_t dealloc_notices = 0;   // piggybacked deallocation notices
+  std::uint64_t dealloc_messages = 0;  // explicit deallocation messages
+
+  void Reset() { *this = SimStats{}; }
+
+  // Difference against an earlier snapshot (field-wise, assumes monotonic).
+  SimStats Since(const SimStats& base) const;
+
+  // Human-readable multi-line dump for benches and debugging.
+  std::string ToString() const;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_SIM_STATS_H_

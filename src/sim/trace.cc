@@ -1,0 +1,37 @@
+#include "src/sim/trace.h"
+
+#include <sstream>
+
+namespace fbufs {
+
+const char* TraceCategoryName(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kVm:
+      return "vm";
+    case TraceCategory::kFbuf:
+      return "fbuf";
+    case TraceCategory::kIpc:
+      return "ipc";
+    case TraceCategory::kProto:
+      return "proto";
+    case TraceCategory::kNet:
+      return "net";
+    case TraceCategory::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::string Trace::Dump(std::size_t max) const {
+  const std::vector<TraceEvent> events = Snapshot();
+  const std::size_t start = events.size() > max ? events.size() - max : 0;
+  std::ostringstream os;
+  for (std::size_t i = start; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    os << e.time / 1000 << "us [" << TraceCategoryName(e.category) << "] " << e.what << " a=0x"
+       << std::hex << e.a << " b=0x" << e.b << std::dec << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fbufs

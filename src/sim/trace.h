@@ -1,0 +1,124 @@
+// Event tracing: a lightweight, ring-buffered record of what the simulated
+// kernel did and when.
+//
+// Tracing is off by default and costs one branch per emission point when
+// disabled. Enable categories selectively; events carry the simulated
+// timestamp, a static label and two operands (addresses, ids, sizes —
+// whatever the site finds useful). Tests assert on sequences; humans read
+// Dump().
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace fbufs {
+
+enum class TraceCategory : std::uint8_t {
+  kVm = 0,    // mapping changes, protection, faults
+  kFbuf,      // allocation, transfer, free, secure, paging
+  kIpc,       // crossings, notices
+  kProto,     // protocol sends/deliveries
+  kNet,       // adapter / link activity
+  kCount,
+};
+
+struct TraceEvent {
+  SimTime time = 0;
+  TraceCategory category = TraceCategory::kVm;
+  const char* what = "";  // static string supplied by the emission site
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class Trace {
+ public:
+  explicit Trace(const SimClock* clock, std::size_t capacity = 4096)
+      : clock_(clock), capacity_(capacity) {
+    ring_.reserve(capacity);
+  }
+
+  // --- Control -----------------------------------------------------------------
+  void Enable(TraceCategory c) { mask_ |= Bit(c); }
+  void Disable(TraceCategory c) { mask_ &= ~Bit(c); }
+  void EnableAll() { mask_ = ~std::uint32_t{0}; }
+  void DisableAll() { mask_ = 0; }
+  bool enabled(TraceCategory c) const { return (mask_ & Bit(c)) != 0; }
+
+  // --- Emission (hot path) -------------------------------------------------------
+  void Emit(TraceCategory c, const char* what, std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (!enabled(c)) {
+      return;
+    }
+    TraceEvent e{clock_->Now(), c, what, a, b};
+    if (ring_.size() < capacity_) {
+      ring_.push_back(e);
+    } else {
+      ring_[next_] = e;
+      wrapped_ = true;
+    }
+    next_ = (next_ + 1) % capacity_;
+    total_++;
+  }
+
+  // --- Inspection ----------------------------------------------------------------
+  // Events in emission order (oldest surviving first).
+  std::vector<TraceEvent> Snapshot() const {
+    std::vector<TraceEvent> out;
+    if (!wrapped_) {
+      out.assign(ring_.begin(), ring_.end());
+      return out;
+    }
+    out.reserve(capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+    return out;
+  }
+
+  // Count of surviving events whose label is |what|.
+  std::size_t Count(const char* what) const {
+    std::size_t n = 0;
+    for (const TraceEvent& e : ring_) {
+      if (std::string(e.what) == what) {
+        n++;
+      }
+    }
+    return n;
+  }
+
+  void Clear() {
+    ring_.clear();
+    next_ = 0;
+    wrapped_ = false;
+    total_ = 0;
+  }
+
+  std::uint64_t total_emitted() const { return total_; }
+  std::size_t size() const { return ring_.size(); }
+
+  // Human-readable dump of up to |max| most recent events.
+  std::string Dump(std::size_t max = 64) const;
+
+ private:
+  static std::uint32_t Bit(TraceCategory c) {
+    return std::uint32_t{1} << static_cast<std::uint8_t>(c);
+  }
+
+  const SimClock* clock_;
+  std::size_t capacity_;
+  std::uint32_t mask_ = 0;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;
+  bool wrapped_ = false;
+  std::uint64_t total_ = 0;
+};
+
+const char* TraceCategoryName(TraceCategory c);
+
+}  // namespace fbufs
+
+#endif  // SRC_SIM_TRACE_H_

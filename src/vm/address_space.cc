@@ -1,0 +1,52 @@
+#include "src/vm/address_space.h"
+
+#include <cassert>
+
+namespace fbufs {
+
+std::optional<VirtAddr> AddressSpace::Allocate(std::uint64_t pages) {
+  const std::uint64_t bytes = pages * kPageSize;
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= bytes) {
+      const VirtAddr base = it->first;
+      const std::uint64_t remaining = it->second - bytes;
+      free_.erase(it);
+      if (remaining > 0) {
+        free_[base + bytes] = remaining;
+      }
+      return base;
+    }
+  }
+  return std::nullopt;
+}
+
+void AddressSpace::Free(VirtAddr base, std::uint64_t pages) {
+  const std::uint64_t bytes = pages * kPageSize;
+  assert(bytes > 0);
+  auto [it, inserted] = free_.emplace(base, bytes);
+  assert(inserted && "double free of virtual range");
+  // Coalesce with successor.
+  auto next = std::next(it);
+  if (next != free_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (it != free_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_.erase(it);
+    }
+  }
+}
+
+std::uint64_t AddressSpace::free_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [base, len] : free_) {
+    total += len;
+  }
+  return total;
+}
+
+}  // namespace fbufs

@@ -1,0 +1,59 @@
+// Virtual address range allocator for one protection domain.
+//
+// Tracks which page-aligned ranges of the private part of a domain's address
+// space are reserved. The globally shared fbuf region is carved out at
+// construction and never handed to private allocations; its internal
+// sub-allocation (chunks) is managed by the fbuf layer.
+#ifndef SRC_VM_ADDRESS_SPACE_H_
+#define SRC_VM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/vm/types.h"
+
+namespace fbufs {
+
+// Address-space layout shared by all domains.
+//
+//   [kPrivateBase, kPrivateEnd)    private mappings (heap, message buffers)
+//   [kFbufRegionBase, +size)       globally shared fbuf region
+constexpr VirtAddr kPrivateBase = 0x0000'0000'0001'0000ULL;
+constexpr VirtAddr kPrivateEnd = 0x0000'0000'4000'0000ULL;   // 1 GB of private VA
+constexpr VirtAddr kFbufRegionBase = 0x0000'0000'8000'0000ULL;
+constexpr std::uint64_t kFbufRegionPages = 64 * 1024;        // 256 MB region
+constexpr VirtAddr kFbufRegionEnd = kFbufRegionBase + kFbufRegionPages * kPageSize;
+
+inline bool InFbufRegion(VirtAddr a) { return a >= kFbufRegionBase && a < kFbufRegionEnd; }
+
+class AddressSpace {
+ public:
+  // Default: the private range of a domain's address space.
+  AddressSpace() { free_[kPrivateBase] = kPrivateEnd - kPrivateBase; }
+
+  // Empty allocator to be seeded with Extend() — used by fbuf allocators to
+  // manage the virtual space of the chunks they own.
+  struct Empty {};
+  explicit AddressSpace(Empty) {}
+
+  // Adds [base, base + pages*kPageSize) to the pool.
+  void Extend(VirtAddr base, std::uint64_t pages) { Free(base, pages); }
+
+  // First-fit allocation of |pages| contiguous pages from the private range.
+  std::optional<VirtAddr> Allocate(std::uint64_t pages);
+
+  // Returns a previously allocated range. The caller passes exactly the
+  // (base, pages) it got from Allocate.
+  void Free(VirtAddr base, std::uint64_t pages);
+
+  std::uint64_t free_bytes() const;
+
+ private:
+  // start -> length of free extents, coalesced.
+  std::map<VirtAddr, std::uint64_t> free_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_VM_ADDRESS_SPACE_H_

@@ -1,0 +1,108 @@
+// Protection domain: one simulated address space with its own page tables,
+// TLB and access rights.
+//
+// All data access by "software running in a domain" goes through the checked
+// accessors here, so permission violations, TLB behaviour, copy-on-write and
+// fbuf fault semantics genuinely happen. Devices (DMA) and tests that need to
+// observe physical placement use the Debug* helpers, which charge nothing.
+#ifndef SRC_VM_DOMAIN_H_
+#define SRC_VM_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/sim/phys_mem.h"
+#include "src/vm/address_space.h"
+#include "src/vm/pmap.h"
+#include "src/vm/tlb.h"
+#include "src/vm/types.h"
+
+namespace fbufs {
+
+class Machine;
+
+// Machine-independent mapping state for one page (the upper level of the
+// two-level VM system).
+struct VmEntry {
+  Prot prot = Prot::kNone;        // access the domain is permitted
+  FrameId frame = kInvalidFrame;  // backing frame once materialized
+  bool cow = false;               // writes must copy (or reclaim) the frame
+  bool pmap_valid = false;        // low-level entry installed
+  bool zero_fill = true;          // clear the frame when materializing
+};
+
+class Domain {
+ public:
+  Domain(Machine* machine, DomainId id, std::string name, bool trusted);
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  DomainId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  // Trusted domains (the kernel) may originate fbufs whose immutability
+  // need not be enforced.
+  bool trusted() const { return trusted_; }
+  bool alive() const { return alive_; }
+
+  AddressSpace& aspace() { return aspace_; }
+  Pmap& pmap() { return pmap_; }
+  Tlb& tlb() { return tlb_; }
+  Machine& machine() { return *machine_; }
+
+  // --- Checked access (the only way domain code touches memory) -------------
+
+  // Copies |len| bytes out of / into the domain's address space, page by
+  // page, translating through TLB + pmap and taking faults as needed.
+  Status ReadBytes(VirtAddr addr, void* dst, std::size_t len);
+  Status WriteBytes(VirtAddr addr, const void* src, std::size_t len);
+
+  Status ReadWord(VirtAddr addr, std::uint32_t* out);
+  Status WriteWord(VirtAddr addr, std::uint32_t value);
+
+  // Touches one word in every page of [addr, addr+len) — the paper's test
+  // access pattern (producer writes one word per page, consumer reads one).
+  Status TouchRange(VirtAddr addr, std::size_t len, Access access);
+
+  // --- Internals used by the VM manager and debug-only observers ------------
+
+  VmEntry* FindEntry(Vpn vpn) {
+    auto it = vmap_.find(vpn);
+    return it == vmap_.end() ? nullptr : &it->second;
+  }
+  const VmEntry* FindEntry(Vpn vpn) const {
+    auto it = vmap_.find(vpn);
+    return it == vmap_.end() ? nullptr : &it->second;
+  }
+  VmEntry& InsertEntry(Vpn vpn, const VmEntry& e) { return vmap_[vpn] = e; }
+  void EraseEntry(Vpn vpn) { vmap_.erase(vpn); }
+  std::unordered_map<Vpn, VmEntry>& entries() { return vmap_; }
+
+  // Frame backing |vpn| per the machine-independent map, or kInvalidFrame.
+  // No cost, no faults — for tests and DMA setup only.
+  FrameId DebugFrame(Vpn vpn) const;
+
+  void MarkDead() { alive_ = false; }
+
+ private:
+  friend class Machine;
+
+  // Translates one page for |access|, taking the fault path if needed.
+  // On success *frame is the backing frame.
+  Status Translate(Vpn vpn, Access access, FrameId* frame);
+
+  Machine* machine_;
+  DomainId id_;
+  std::string name_;
+  bool trusted_;
+  bool alive_ = true;
+  AddressSpace aspace_;
+  Pmap pmap_;
+  Tlb tlb_;
+  std::unordered_map<Vpn, VmEntry> vmap_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_VM_DOMAIN_H_

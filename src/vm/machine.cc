@@ -1,0 +1,56 @@
+#include "src/vm/machine.h"
+
+#include <cassert>
+
+namespace fbufs {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      costs_(config.costs),
+      pmem_(config.phys_frames, &clock_, &costs_, &stats_),
+      vm_(this) {
+  domains_.push_back(std::make_unique<Domain>(this, kKernelDomainId, "kernel",
+                                              /*trusted=*/true));
+}
+
+Domain* Machine::CreateDomain(const std::string& name, bool trusted) {
+  const DomainId id = static_cast<DomainId>(domains_.size());
+  domains_.push_back(std::make_unique<Domain>(this, id, name, trusted));
+  return domains_.back().get();
+}
+
+Domain* Machine::domain(DomainId id) {
+  if (id >= domains_.size()) {
+    return nullptr;
+  }
+  return domains_[id].get();
+}
+
+void Machine::DestroyDomain(DomainId id) {
+  Domain* d = domain(id);
+  assert(d != nullptr && d->alive() && "destroying unknown or dead domain");
+  assert(id != kKernelDomainId && "the kernel does not terminate");
+  for (const TerminationHook& hook : termination_hooks_) {
+    hook(*d);
+  }
+  // Tear down whatever the hooks left behind (private memory, stray
+  // mappings). No costs: the domain is gone; cleanup is kernel background
+  // work and the paper does not account it.
+  std::vector<Vpn> vpns;
+  vpns.reserve(d->entries().size());
+  for (const auto& [vpn, entry] : d->entries()) {
+    vpns.push_back(vpn);
+  }
+  for (Vpn vpn : vpns) {
+    VmEntry* e = d->FindEntry(vpn);
+    if (e != nullptr && e->frame != kInvalidFrame) {
+      pmem_.Unref(e->frame);
+    }
+    d->pmap().Remove(vpn);
+    d->EraseEntry(vpn);
+  }
+  d->tlb().FlushAll();
+  d->MarkDead();
+}
+
+}  // namespace fbufs

@@ -1,0 +1,88 @@
+// Machine: one simulated shared-memory host.
+//
+// Owns the clock, cost model, statistics, physical memory, the protection
+// domains and the VM manager. Higher layers (fbuf system, IPC, devices)
+// attach to a Machine.
+#ifndef SRC_VM_MACHINE_H_
+#define SRC_VM_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/phys_mem.h"
+#include "src/sim/stats.h"
+#include "src/sim/trace.h"
+#include "src/vm/domain.h"
+#include "src/vm/types.h"
+#include "src/vm/vm_manager.h"
+
+namespace fbufs {
+
+struct MachineConfig {
+  std::uint32_t phys_frames = 16384;  // 64 MB of simulated physical memory
+  std::uint32_t tlb_entries = Tlb::kDefaultEntries;
+  CostParams costs = CostParams::DecStation5000();
+  std::string name = "host";
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config = MachineConfig());
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  SimClock& clock() { return clock_; }
+  const CostParams& costs() const { return costs_; }
+  CostParams& mutable_costs() { return costs_; }
+  SimStats& stats() { return stats_; }
+  PhysMem& pmem() { return pmem_; }
+  VmManager& vm() { return vm_; }
+  Trace& trace() { return trace_; }
+  const std::string& name() const { return config_.name; }
+  std::uint32_t tlb_entries() const { return config_.tlb_entries; }
+
+  // Domain 0 is the kernel (created at construction, trusted).
+  Domain& kernel() { return *domains_[kKernelDomainId]; }
+
+  // Creates a user protection domain. Pointers remain valid for the life of
+  // the Machine (dead domains are kept as tombstones).
+  Domain* CreateDomain(const std::string& name, bool trusted = false);
+
+  // nullptr if the id is unknown; dead domains are still returned (check
+  // alive()).
+  Domain* domain(DomainId id);
+
+  // Tears a domain down: runs termination hooks (fbuf cleanup), then unmaps
+  // everything and marks the domain dead. Models both orderly exit and crash
+  // (the hooks see which references were never relinquished).
+  void DestroyDomain(DomainId id);
+
+  // Hooks run at the start of DestroyDomain, before mappings are torn down.
+  using TerminationHook = std::function<void(Domain&)>;
+  void AddTerminationHook(TerminationHook hook) {
+    termination_hooks_.push_back(std::move(hook));
+  }
+
+  std::size_t domain_count() const { return domains_.size(); }
+
+ private:
+  MachineConfig config_;
+  SimClock clock_;
+  Trace trace_{&clock_};
+  CostParams costs_;
+  SimStats stats_;
+  PhysMem pmem_;
+  VmManager vm_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  std::vector<TerminationHook> termination_hooks_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_VM_MACHINE_H_

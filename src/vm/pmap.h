@@ -1,0 +1,70 @@
+// Machine-dependent ("physical") page table for one protection domain.
+//
+// This is the lower level of the paper's two-level VM system: the structure
+// the hardware (here: the simulated TLB refill handler) consults. Entries are
+// installed/removed/changed by the VM manager, which charges the page-table
+// update cost; the pmap itself only counts operations.
+#ifndef SRC_VM_PMAP_H_
+#define SRC_VM_PMAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/sim/phys_mem.h"
+#include "src/sim/stats.h"
+#include "src/vm/types.h"
+
+namespace fbufs {
+
+struct PmapEntry {
+  FrameId frame = kInvalidFrame;
+  Prot prot = Prot::kNone;
+};
+
+class Pmap {
+ public:
+  explicit Pmap(SimStats* stats) : stats_(stats) {}
+
+  // Installs or replaces the entry for |vpn|. Counts one pt update.
+  void Set(Vpn vpn, FrameId frame, Prot prot) {
+    entries_[vpn] = PmapEntry{frame, prot};
+    stats_->pt_updates++;
+  }
+
+  // Changes only the protection of an existing entry. Counts one pt update.
+  // Returns false if there is no entry.
+  bool SetProt(Vpn vpn, Prot prot) {
+    auto it = entries_.find(vpn);
+    if (it == entries_.end()) {
+      return false;
+    }
+    it->second.prot = prot;
+    stats_->pt_updates++;
+    return true;
+  }
+
+  // Removes the entry for |vpn|. Counts one pt update if present.
+  bool Remove(Vpn vpn) {
+    if (entries_.erase(vpn) == 0) {
+      return false;
+    }
+    stats_->pt_updates++;
+    return true;
+  }
+
+  // Hardware-side lookup (used by the TLB refill handler). No cost, no count.
+  const PmapEntry* Lookup(Vpn vpn) const {
+    auto it = entries_.find(vpn);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  SimStats* stats_;
+  std::unordered_map<Vpn, PmapEntry> entries_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_VM_PMAP_H_

@@ -1,0 +1,108 @@
+// Per-domain software-filled TLB (MIPS R3000 style).
+//
+// Every translation a domain performs goes through its TLB. Misses are
+// serviced in "software" from the pmap and charged the refill cost — this is
+// exactly where the 3 us/page of cached/volatile fbuf transfers comes from in
+// the paper. Mapping changes must flush matching entries (the per-page
+// TLB/cache consistency action of the paper's step 2c/4b).
+#ifndef SRC_VM_TLB_H_
+#define SRC_VM_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/stats.h"
+#include "src/vm/pmap.h"
+#include "src/vm/types.h"
+
+namespace fbufs {
+
+class Tlb {
+ public:
+  // The R3000 had 64 entries.
+  static constexpr std::uint32_t kDefaultEntries = 64;
+
+  Tlb(std::uint32_t capacity, SimClock* clock, const CostParams* costs, SimStats* stats)
+      : capacity_(capacity), clock_(clock), costs_(costs), stats_(stats) {
+    slots_.resize(capacity_);
+  }
+
+  // Looks up |vpn|; on miss, charges the refill cost and consults |pmap|.
+  // Returns the entry (valid frame) or nullptr if the pmap has no mapping
+  // (the caller then takes the full fault path).
+  const PmapEntry* Translate(Vpn vpn, const Pmap& pmap) {
+    for (Slot& s : slots_) {
+      if (s.valid && s.vpn == vpn) {
+        return &s.entry;
+      }
+    }
+    // Software refill.
+    clock_->Advance(costs_->tlb_miss_ns);
+    stats_->tlb_misses++;
+    const PmapEntry* pe = pmap.Lookup(vpn);
+    if (pe == nullptr) {
+      return nullptr;
+    }
+    Insert(vpn, *pe);
+    // Return the cached copy (stable for the duration of the access).
+    return &slots_[last_inserted_].entry;
+  }
+
+  // Drops the entry for |vpn| and charges one consistency action. Called for
+  // every page whose mapping or protection changed.
+  void FlushPage(Vpn vpn) {
+    clock_->Advance(costs_->tlb_flush_ns);
+    stats_->tlb_flushes++;
+    for (Slot& s : slots_) {
+      if (s.valid && s.vpn == vpn) {
+        s.valid = false;
+      }
+    }
+  }
+
+  // Invalidates the entry without charging (used when the cost is already
+  // covered by an inclusive operation such as a protection trap).
+  void InvalidatePage(Vpn vpn) {
+    for (Slot& s : slots_) {
+      if (s.valid && s.vpn == vpn) {
+        s.valid = false;
+      }
+    }
+  }
+
+  void FlushAll() {
+    for (Slot& s : slots_) {
+      s.valid = false;
+    }
+  }
+
+  std::uint32_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    Vpn vpn = 0;
+    PmapEntry entry;
+  };
+
+  void Insert(Vpn vpn, const PmapEntry& e) {
+    // FIFO replacement (the R3000 used random; FIFO keeps runs deterministic).
+    last_inserted_ = next_victim_;
+    slots_[next_victim_] = Slot{true, vpn, e};
+    next_victim_ = (next_victim_ + 1) % capacity_;
+  }
+
+  std::uint32_t capacity_;
+  SimClock* clock_;
+  const CostParams* costs_;
+  SimStats* stats_;
+  std::vector<Slot> slots_;
+  std::uint32_t next_victim_ = 0;
+  std::uint32_t last_inserted_ = 0;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_VM_TLB_H_

@@ -1,0 +1,37 @@
+#include "src/vm/types.h"
+
+namespace fbufs {
+
+const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kNoMemory:
+      return "no-memory";
+    case Status::kNoVirtualSpace:
+      return "no-virtual-space";
+    case Status::kProtection:
+      return "protection-violation";
+    case Status::kNotMapped:
+      return "not-mapped";
+    case Status::kInvalidArgument:
+      return "invalid-argument";
+    case Status::kQuotaExceeded:
+      return "quota-exceeded";
+    case Status::kBadPointer:
+      return "bad-pointer";
+    case Status::kCycle:
+      return "cycle";
+    case Status::kNotOwner:
+      return "not-owner";
+    case Status::kExhausted:
+      return "exhausted";
+    case Status::kNotFound:
+      return "not-found";
+    case Status::kTruncated:
+      return "truncated";
+  }
+  return "unknown";
+}
+
+}  // namespace fbufs

@@ -1,0 +1,73 @@
+// Common virtual-memory types: addresses, protections, status codes.
+#ifndef SRC_VM_TYPES_H_
+#define SRC_VM_TYPES_H_
+
+#include <cstdint>
+
+#include "src/sim/cost_model.h"
+
+namespace fbufs {
+
+// A simulated virtual address. All domains share one 64-bit address-space
+// layout (the fbuf region occupies the same range everywhere).
+using VirtAddr = std::uint64_t;
+// Virtual page number: VirtAddr >> kPageShift.
+using Vpn = std::uint64_t;
+
+using DomainId = std::uint32_t;
+constexpr DomainId kKernelDomainId = 0;
+constexpr DomainId kInvalidDomainId = static_cast<DomainId>(-1);
+
+inline Vpn PageOf(VirtAddr addr) { return addr >> kPageShift; }
+inline VirtAddr AddrOf(Vpn vpn) { return vpn << kPageShift; }
+inline std::uint64_t PageOffset(VirtAddr addr) { return addr & (kPageSize - 1); }
+inline std::uint64_t PagesFor(std::uint64_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+// Page protection. Write implies the ability to store; read to load.
+enum class Prot : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,  // write-only is representable but unused in practice
+  kReadWrite = 3,
+};
+
+inline bool CanRead(Prot p) {
+  return (static_cast<std::uint8_t>(p) & static_cast<std::uint8_t>(Prot::kRead)) != 0;
+}
+inline bool CanWrite(Prot p) {
+  return (static_cast<std::uint8_t>(p) & static_cast<std::uint8_t>(Prot::kWrite)) != 0;
+}
+
+enum class Access : std::uint8_t { kRead, kWrite };
+
+inline bool Allows(Prot p, Access a) {
+  return a == Access::kRead ? CanRead(p) : CanWrite(p);
+}
+
+// Status codes. The simulator uses status returns (never exceptions) for
+// recoverable conditions; programming errors assert.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNoMemory,        // physical memory exhausted
+  kNoVirtualSpace,  // virtual address range exhausted
+  kProtection,      // access violation (simulated SIGSEGV)
+  kNotMapped,       // no mapping at the address
+  kInvalidArgument,
+  kQuotaExceeded,   // fbuf chunk quota hit
+  kBadPointer,      // DAG pointer outside the fbuf region
+  kCycle,           // DAG traversal found a cycle
+  kNotOwner,        // operation requires fbuf ownership
+  kExhausted,       // resource (port queue, window) exhausted
+  kNotFound,
+  kTruncated,       // reassembly/extract produced fewer bytes than asked
+};
+
+const char* StatusName(Status s);
+
+inline bool Ok(Status s) { return s == Status::kOk; }
+
+}  // namespace fbufs
+
+#endif  // SRC_VM_TYPES_H_

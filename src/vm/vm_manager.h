@@ -1,0 +1,90 @@
+// VM manager: the kernel's mapping operations and fault handler.
+//
+// All mapping changes go through here so that costs are charged exactly where
+// the paper's base mechanism pays them: per-page physical page-table updates,
+// per-page TLB/cache consistency actions, page faults, page clears, and the
+// extra bookkeeping of general-purpose (non-fbuf) paths.
+#ifndef SRC_VM_VM_MANAGER_H_
+#define SRC_VM_VM_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/phys_mem.h"
+#include "src/vm/types.h"
+
+namespace fbufs {
+
+class Machine;
+class Domain;
+struct VmEntry;
+
+// How an operation is charged.
+//  kGeneral:     full general-purpose VM path — charges machine-independent
+//                map bookkeeping on top of page-table work (used by ordinary
+//                anonymous memory and the remap/copy/COW baselines).
+//  kStreamlined: the fbuf region's restricted path — same virtual address in
+//                every domain, dedicated allocator — which skips the
+//                general-purpose bookkeeping (this is the paper's
+//                "restricted dynamic read sharing" optimization).
+enum class ChargeMode { kGeneral, kStreamlined };
+
+class VmManager {
+ public:
+  explicit VmManager(Machine* machine) : machine_(machine) {}
+
+  // Maps |pages| anonymous zero-fill pages at |base|. With |eager| the frames
+  // are materialized and entered now (allocation cost paid up front); lazily
+  // otherwise (first touch faults). |clear| controls security clearing.
+  Status MapAnonymous(Domain& d, VirtAddr base, std::uint64_t pages, Prot prot, bool eager,
+                      bool clear, ChargeMode mode);
+
+  // Maps an existing frame (shared memory) at |vpn| with |prot|; takes a
+  // reference on the frame. If the domain already had a mapping there it is
+  // replaced (old frame unreferenced, TLB entry flushed).
+  Status MapFrame(Domain& d, Vpn vpn, FrameId frame, Prot prot, ChargeMode mode);
+
+  // Removes mappings for [base, base + pages*kPageSize). Frames are
+  // unreferenced; pmap entries removed and TLBs kept consistent.
+  Status Unmap(Domain& d, VirtAddr base, std::uint64_t pages, ChargeMode mode);
+
+  // Changes protection. With |trap_inclusive| the cost charged is the single
+  // inclusive "raise/lower protection" trap (prot_change_ns per page), which
+  // already covers the pt update and TLB invalidation — this is the operation
+  // non-volatile fbufs pay twice per transfer. Otherwise pt-update + flush
+  // costs are charged individually.
+  Status Protect(Domain& d, VirtAddr base, std::uint64_t pages, Prot prot, bool trap_inclusive);
+
+  // Mach-style copy-on-write share of [src_base, +pages) into dst at
+  // dst_base. Lazy: no per-page cost now; both sides' low-level entries are
+  // invalidated, so the next access in either domain faults (the paper's
+  // "two page faults for each transfer").
+  Status ShareCow(Domain& src, VirtAddr src_base, Domain& dst, VirtAddr dst_base,
+                  std::uint64_t pages);
+
+  // DASH-style remap with move semantics: the pages leave |src| and appear in
+  // |dst| at |dst_base|. Charges the general remap path per page (pt work on
+  // both sides plus two-level bookkeeping).
+  Status Remap(Domain& src, VirtAddr src_base, Domain& dst, VirtAddr dst_base,
+               std::uint64_t pages);
+
+  // The fault path: called by Domain::Translate when the TLB refill finds no
+  // (or an insufficient) pmap entry. Resolves zero-fill, COW, lazy-pmap and
+  // fbuf-region faults; returns kProtection / kNotMapped for true violations.
+  Status HandleFault(Domain& d, Vpn vpn, Access access);
+
+  // The fbuf layer registers this to give reads of unmapped fbuf-region pages
+  // the paper's "absent data leaf" semantics.
+  using FbufFaultHook = std::function<Status(Domain&, Vpn, Access)>;
+  void set_fbuf_fault_hook(FbufFaultHook hook) { fbuf_hook_ = std::move(hook); }
+
+ private:
+  Status MaterializeFrame(Domain& d, Vpn vpn, VmEntry& entry, bool clear);
+
+  Machine* machine_;
+  FbufFaultHook fbuf_hook_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_VM_VM_MANAGER_H_

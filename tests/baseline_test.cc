@@ -1,0 +1,209 @@
+// Tests for the baseline transfer facilities: semantics (copy vs move),
+// data integrity, and the cost structure each mechanism is supposed to have.
+#include <gtest/gtest.h>
+
+#include "src/baseline/copy_transfer.h"
+#include "src/baseline/cow_transfer.h"
+#include "src/baseline/fbuf_adapter.h"
+#include "src/baseline/mach_native.h"
+#include "src/baseline/remap_transfer.h"
+#include "tests/test_util.h"
+
+namespace fbufs {
+namespace {
+
+using testing_util::World;
+using testing_util::ZeroCostConfig;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() : world_(ZeroCostConfig()) {
+    src_ = world_.AddDomain("src");
+    dst_ = world_.AddDomain("dst");
+  }
+
+  // Writes a pattern through the sender, sends, and verifies the receiver
+  // view byte for byte.
+  void RoundTrip(TransferFacility& f, std::uint64_t bytes) {
+    BufferRef ref;
+    ASSERT_EQ(f.Alloc(*src_, bytes, &ref), Status::kOk);
+    std::vector<std::uint8_t> pattern(bytes);
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+      pattern[i] = static_cast<std::uint8_t>(i * 13 + 7);
+    }
+    ASSERT_EQ(src_->WriteBytes(ref.sender_addr, pattern.data(), bytes), Status::kOk);
+    ASSERT_EQ(f.Send(ref, *src_, *dst_), Status::kOk);
+    std::vector<std::uint8_t> got(bytes);
+    ASSERT_EQ(dst_->ReadBytes(ref.receiver_addr, got.data(), bytes), Status::kOk);
+    EXPECT_EQ(got, pattern) << f.name();
+    ASSERT_EQ(f.ReceiverFree(ref, *dst_), Status::kOk);
+    ASSERT_EQ(f.SenderFree(ref, *src_), Status::kOk);
+  }
+
+  World world_;
+  Domain* src_;
+  Domain* dst_;
+};
+
+TEST_F(BaselineTest, CopyTransferRoundTrip) {
+  CopyTransfer f(&world_.machine);
+  RoundTrip(f, 3 * kPageSize + 100);
+}
+
+TEST_F(BaselineTest, CopyTransferActuallyCopies) {
+  CopyTransfer f(&world_.machine);
+  BufferRef ref;
+  ASSERT_EQ(f.Alloc(*src_, kPageSize, &ref), Status::kOk);
+  ASSERT_EQ(src_->WriteWord(ref.sender_addr, 0x11), Status::kOk);
+  ASSERT_EQ(f.Send(ref, *src_, *dst_), Status::kOk);
+  EXPECT_NE(src_->DebugFrame(PageOf(ref.sender_addr)),
+            dst_->DebugFrame(PageOf(ref.receiver_addr)));
+  EXPECT_EQ(world_.machine.stats().bytes_copied, kPageSize);
+  // True copy semantics: sender modifications after the send are invisible.
+  ASSERT_EQ(src_->WriteWord(ref.sender_addr, 0x22), Status::kOk);
+  std::uint32_t got = 0;
+  ASSERT_EQ(dst_->ReadWord(ref.receiver_addr, &got), Status::kOk);
+  EXPECT_EQ(got, 0x11u);
+}
+
+TEST_F(BaselineTest, CopyReceiverBufferIsPooled) {
+  CopyTransfer f(&world_.machine);
+  BufferRef a;
+  ASSERT_EQ(f.Alloc(*src_, kPageSize, &a), Status::kOk);
+  ASSERT_EQ(f.Send(a, *src_, *dst_), Status::kOk);
+  const VirtAddr first = a.receiver_addr;
+  ASSERT_EQ(f.ReceiverFree(a, *dst_), Status::kOk);
+  ASSERT_EQ(f.Send(a, *src_, *dst_), Status::kOk);
+  EXPECT_EQ(a.receiver_addr, first);  // same landing buffer reused
+}
+
+TEST_F(BaselineTest, CowTransferRoundTrip) {
+  CowTransfer f(&world_.machine);
+  RoundTrip(f, 2 * kPageSize);
+}
+
+TEST_F(BaselineTest, CowIsCopySemantics) {
+  CowTransfer f(&world_.machine);
+  BufferRef ref;
+  ASSERT_EQ(f.Alloc(*src_, kPageSize, &ref), Status::kOk);
+  ASSERT_EQ(src_->WriteWord(ref.sender_addr, 0xaa), Status::kOk);
+  ASSERT_EQ(f.Send(ref, *src_, *dst_), Status::kOk);
+  // Receiver reads, then the sender overwrites: receiver must not see it.
+  std::uint32_t got = 0;
+  ASSERT_EQ(dst_->ReadWord(ref.receiver_addr, &got), Status::kOk);
+  EXPECT_EQ(got, 0xaau);
+  ASSERT_EQ(src_->WriteWord(ref.sender_addr, 0xbb), Status::kOk);
+  ASSERT_EQ(dst_->ReadWord(ref.receiver_addr, &got), Status::kOk);
+  EXPECT_EQ(got, 0xaau);
+  ASSERT_EQ(f.ReceiverFree(ref, *dst_), Status::kOk);
+  ASSERT_EQ(f.SenderFree(ref, *src_), Status::kOk);
+}
+
+TEST_F(BaselineTest, CowSharesUntilWritten) {
+  CowTransfer f(&world_.machine);
+  BufferRef ref;
+  ASSERT_EQ(f.Alloc(*src_, kPageSize, &ref), Status::kOk);
+  ASSERT_EQ(src_->WriteWord(ref.sender_addr, 1), Status::kOk);
+  ASSERT_EQ(f.Send(ref, *src_, *dst_), Status::kOk);
+  std::uint32_t v;
+  ASSERT_EQ(dst_->ReadWord(ref.receiver_addr, &v), Status::kOk);
+  // Read-only sharing: same frame, nothing copied.
+  EXPECT_EQ(src_->DebugFrame(PageOf(ref.sender_addr)),
+            dst_->DebugFrame(PageOf(ref.receiver_addr)));
+  EXPECT_EQ(world_.machine.stats().bytes_copied, 0u);
+}
+
+TEST_F(BaselineTest, RemapHasMoveSemantics) {
+  RemapTransfer f(&world_.machine, RemapTransfer::Mode::kRealistic, 0);
+  BufferRef ref;
+  ASSERT_EQ(f.Alloc(*src_, kPageSize, &ref), Status::kOk);
+  ASSERT_EQ(src_->WriteWord(ref.sender_addr, 0x77), Status::kOk);
+  ASSERT_EQ(f.Send(ref, *src_, *dst_), Status::kOk);
+  // The pages left the sender: its access now faults.
+  std::uint32_t v;
+  EXPECT_EQ(src_->ReadWord(ref.sender_addr, &v), Status::kNotMapped);
+  // Same virtual address is valid in the receiver (shared range).
+  ASSERT_EQ(dst_->ReadWord(ref.receiver_addr, &v), Status::kOk);
+  EXPECT_EQ(v, 0x77u);
+  ASSERT_EQ(f.ReceiverFree(ref, *dst_), Status::kOk);
+}
+
+TEST_F(BaselineTest, RemapPingPongReturnsBuffer) {
+  RemapTransfer f(&world_.machine, RemapTransfer::Mode::kPingPong);
+  BufferRef ref;
+  ASSERT_EQ(f.Alloc(*src_, 2 * kPageSize, &ref), Status::kOk);
+  ASSERT_EQ(src_->WriteWord(ref.sender_addr, 1), Status::kOk);
+  ASSERT_EQ(f.Send(ref, *src_, *dst_), Status::kOk);
+  ASSERT_EQ(f.SendBack(ref, *dst_, *src_), Status::kOk);
+  std::uint32_t v;
+  ASSERT_EQ(src_->ReadWord(ref.sender_addr, &v), Status::kOk);
+  EXPECT_EQ(v, 1u);
+  ASSERT_EQ(f.SenderFree(ref, *src_), Status::kOk);
+}
+
+TEST_F(BaselineTest, MachNativePicksCopyBelowThreshold) {
+  MachNativeTransfer f(&world_.machine);
+  BufferRef small;
+  ASSERT_EQ(f.Alloc(*src_, 1024, &small), Status::kOk);
+  ASSERT_EQ(src_->WriteWord(small.sender_addr, 5), Status::kOk);
+  const std::uint64_t copied_before = world_.machine.stats().bytes_copied;
+  ASSERT_EQ(f.Send(small, *src_, *dst_), Status::kOk);
+  EXPECT_GT(world_.machine.stats().bytes_copied, copied_before);
+}
+
+TEST_F(BaselineTest, MachNativePicksCowAboveThreshold) {
+  MachNativeTransfer f(&world_.machine);
+  BufferRef big;
+  ASSERT_EQ(f.Alloc(*src_, 8192, &big), Status::kOk);
+  ASSERT_EQ(src_->WriteWord(big.sender_addr, 5), Status::kOk);
+  const std::uint64_t copied_before = world_.machine.stats().bytes_copied;
+  ASSERT_EQ(f.Send(big, *src_, *dst_), Status::kOk);
+  std::uint32_t v;
+  ASSERT_EQ(dst_->ReadWord(big.receiver_addr, &v), Status::kOk);
+  // COW: read sharing copies nothing.
+  EXPECT_EQ(world_.machine.stats().bytes_copied, copied_before);
+}
+
+TEST_F(BaselineTest, FbufAdapterMatchesDirectUse) {
+  const PathId path = world_.fsys.paths().Register({src_->id(), dst_->id()});
+  FbufTransferAdapter f(&world_.fsys, path, true, true);
+  RoundTrip(f, 2 * kPageSize + 17);
+  EXPECT_EQ(world_.machine.stats().bytes_copied, 0u);
+}
+
+// Parameterized sweep: every facility preserves data for a spread of sizes.
+class AllFacilitiesTest : public BaselineTest,
+                          public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(AllFacilitiesTest, DataIntegrityAcrossSizes) {
+  const std::uint64_t bytes = GetParam();
+  {
+    CopyTransfer f(&world_.machine);
+    RoundTrip(f, bytes);
+  }
+  {
+    CowTransfer f(&world_.machine);
+    RoundTrip(f, bytes);
+  }
+  {
+    MachNativeTransfer f(&world_.machine);
+    RoundTrip(f, bytes);
+  }
+  {
+    const PathId p = world_.fsys.paths().Register({src_->id(), dst_->id()});
+    FbufTransferAdapter f(&world_.fsys, p, true, true);
+    RoundTrip(f, bytes);
+  }
+  {
+    FbufTransferAdapter f(&world_.fsys, kNoPath, false, false);
+    RoundTrip(f, bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AllFacilitiesTest,
+                         ::testing::Values(1, 100, kPageSize - 1, kPageSize, kPageSize + 1,
+                                           3 * kPageSize, 16 * kPageSize + 123,
+                                           64 * kPageSize));
+
+}  // namespace
+}  // namespace fbufs

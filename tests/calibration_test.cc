@@ -1,0 +1,213 @@
+// Calibration tests: the per-page transfer costs of Table 1 (and §2.2's
+// remap numbers) must emerge from the simulator's operation sequences.
+//
+// Method: run the paper's cycle — allocate, write one word per page,
+// transfer, read one word per page in the receiver, free — at two message
+// sizes and take the slope, which cancels all per-message costs (IPC
+// latency, address allocation) exactly as the paper's "incremental per-page
+// cost independent of IPC latency".
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baseline/copy_transfer.h"
+#include "src/baseline/cow_transfer.h"
+#include "src/baseline/fbuf_adapter.h"
+#include "src/baseline/remap_transfer.h"
+#include "src/baseline/transfer_facility.h"
+#include "tests/test_util.h"
+
+namespace fbufs {
+namespace {
+
+using testing_util::World;
+
+constexpr std::uint64_t kSmallPages = 96;   // > 64 TLB entries: full eviction
+constexpr std::uint64_t kLargePages = 192;
+constexpr int kWarmup = 3;
+constexpr int kIters = 8;
+
+class CalibrationFixture {
+ public:
+  CalibrationFixture() {
+    MachineConfig cfg;  // DecStation costs
+    FbufConfig fcfg;
+    fcfg.clear_new_pages = false;  // Table 1 excludes clearing (§4)
+    world_ = std::make_unique<World>(cfg, fcfg);
+    src_ = world_->AddDomain("src");
+    dst_ = world_->AddDomain("dst");
+    path_ = world_->fsys.paths().Register({src_->id(), dst_->id()});
+  }
+
+  // Simulated time for |iters| cycles at |pages| pages.
+  SimTime RunCycles(TransferFacility& f, std::uint64_t pages, int iters, bool reuse_buffer) {
+    BufferRef ref;
+    if (reuse_buffer) {
+      EXPECT_EQ(f.Alloc(*src_, pages * kPageSize, &ref), Status::kOk);
+    }
+    for (int i = 0; i < kWarmup; ++i) {
+      OneCycle(f, pages, reuse_buffer, &ref);
+    }
+    const SimTime before = world_->machine.clock().Now();
+    for (int i = 0; i < iters; ++i) {
+      OneCycle(f, pages, reuse_buffer, &ref);
+    }
+    const SimTime elapsed = world_->machine.clock().Now() - before;
+    if (reuse_buffer) {
+      EXPECT_EQ(f.SenderFree(ref, *src_), Status::kOk);
+    }
+    return elapsed;
+  }
+
+  // Per-page slope in microseconds.
+  double SlopeUs(TransferFacility& f, bool reuse_buffer) {
+    const SimTime t1 = RunCycles(f, kSmallPages, kIters, reuse_buffer);
+    const SimTime t2 = RunCycles(f, kLargePages, kIters, reuse_buffer);
+    return static_cast<double>(t2 - t1) / 1000.0 / (kIters * (kLargePages - kSmallPages));
+  }
+
+  World& world() { return *world_; }
+  Domain& src() { return *src_; }
+  Domain& dst() { return *dst_; }
+  PathId path() const { return path_; }
+
+ private:
+  void OneCycle(TransferFacility& f, std::uint64_t pages, bool reuse_buffer, BufferRef* ref) {
+    if (!reuse_buffer) {
+      ASSERT_EQ(f.Alloc(*src_, pages * kPageSize, ref), Status::kOk);
+    }
+    ASSERT_EQ(src_->TouchRange(ref->sender_addr, ref->bytes, Access::kWrite), Status::kOk);
+    ASSERT_EQ(f.Send(*ref, *src_, *dst_), Status::kOk);
+    ASSERT_EQ(dst_->TouchRange(ref->receiver_addr, ref->bytes, Access::kRead), Status::kOk);
+    ASSERT_EQ(f.ReceiverFree(*ref, *dst_), Status::kOk);
+    if (!reuse_buffer) {
+      ASSERT_EQ(f.SenderFree(*ref, *src_), Status::kOk);
+    }
+  }
+
+  std::unique_ptr<World> world_;
+  Domain* src_ = nullptr;
+  Domain* dst_ = nullptr;
+  PathId path_ = kNoPath;
+};
+
+// Paper Table 1: 3 us/page, 10922 Mbps asymptotic.
+TEST(Table1, CachedVolatileFbufs) {
+  CalibrationFixture fx;
+  FbufTransferAdapter f(&fx.world().fsys, fx.path(), /*cached=*/true, /*volatile=*/true);
+  const double us = fx.SlopeUs(f, /*reuse_buffer=*/false);
+  EXPECT_NEAR(us, 3.0, 0.5);
+}
+
+// Paper Table 1: 21 us/page, 1560 Mbps.
+TEST(Table1, VolatileUncachedFbufs) {
+  CalibrationFixture fx;
+  FbufTransferAdapter f(&fx.world().fsys, kNoPath, /*cached=*/false, /*volatile=*/true);
+  const double us = fx.SlopeUs(f, /*reuse_buffer=*/false);
+  EXPECT_NEAR(us, 21.0, 2.0);
+}
+
+// Paper Table 1: 29 us/page, 1130 Mbps.
+TEST(Table1, CachedSecuredFbufs) {
+  CalibrationFixture fx;
+  FbufTransferAdapter f(&fx.world().fsys, fx.path(), /*cached=*/true, /*volatile=*/false);
+  const double us = fx.SlopeUs(f, /*reuse_buffer=*/false);
+  EXPECT_NEAR(us, 29.0, 2.0);
+}
+
+// Paper Table 1: 47 us/page, 697 Mbps.
+TEST(Table1, PlainFbufs) {
+  CalibrationFixture fx;
+  FbufTransferAdapter f(&fx.world().fsys, kNoPath, /*cached=*/false, /*volatile=*/false);
+  const double us = fx.SlopeUs(f, /*reuse_buffer=*/false);
+  EXPECT_NEAR(us, 47.0, 3.0);
+}
+
+// Paper Table 1: 159 us/page, 206 Mbps.
+TEST(Table1, MachCow) {
+  CalibrationFixture fx;
+  CowTransfer f(&fx.world().machine);
+  const double us = fx.SlopeUs(f, /*reuse_buffer=*/true);
+  EXPECT_NEAR(us, 159.0, 8.0);
+}
+
+// Paper Table 1: 204 us/page, 161 Mbps.
+TEST(Table1, PhysicalCopy) {
+  CalibrationFixture fx;
+  CopyTransfer f(&fx.world().machine);
+  const double us = fx.SlopeUs(f, /*reuse_buffer=*/true);
+  EXPECT_NEAR(us, 204.0, 8.0);
+}
+
+// §2.2: DASH-style remap, ping-pong test: ~22 us/page.
+TEST(RemapCalibration, PingPong) {
+  CalibrationFixture fx;
+  RemapTransfer f(&fx.world().machine, RemapTransfer::Mode::kPingPong);
+  auto run = [&](std::uint64_t pages, int iters) {
+    BufferRef ref;
+    EXPECT_EQ(f.Alloc(fx.src(), pages * kPageSize, &ref), Status::kOk);
+    for (int i = 0; i < kWarmup; ++i) {
+      EXPECT_EQ(f.Send(ref, fx.src(), fx.dst()), Status::kOk);
+      EXPECT_EQ(f.SendBack(ref, fx.dst(), fx.src()), Status::kOk);
+    }
+    const SimTime before = fx.world().machine.clock().Now();
+    for (int i = 0; i < iters; ++i) {
+      EXPECT_EQ(fx.src().TouchRange(ref.sender_addr, ref.bytes, Access::kWrite), Status::kOk);
+      EXPECT_EQ(f.Send(ref, fx.src(), fx.dst()), Status::kOk);
+      EXPECT_EQ(fx.dst().TouchRange(ref.sender_addr, ref.bytes, Access::kRead), Status::kOk);
+      EXPECT_EQ(f.SendBack(ref, fx.dst(), fx.src()), Status::kOk);
+    }
+    const SimTime elapsed = fx.world().machine.clock().Now() - before;
+    EXPECT_EQ(f.SenderFree(ref, fx.src()), Status::kOk);
+    return elapsed;
+  };
+  const SimTime t1 = run(kSmallPages, kIters);
+  const SimTime t2 = run(kLargePages, kIters);
+  // Two remaps (there and back) per iteration: halve for per-transfer cost.
+  const double us =
+      static_cast<double>(t2 - t1) / 1000.0 / (kIters * (kLargePages - kSmallPages)) / 2.0;
+  EXPECT_NEAR(us, 22.0, 3.0);
+}
+
+// §2.2: realistic one-way remap with allocation/clear/deallocation:
+// 42..99 us/page as the cleared fraction goes 0% -> 100%.
+TEST(RemapCalibration, RealisticSweep) {
+  for (const std::uint32_t percent : {0u, 50u, 100u}) {
+    CalibrationFixture fx;
+    RemapTransfer f(&fx.world().machine, RemapTransfer::Mode::kRealistic, percent);
+    const double us = fx.SlopeUs(f, /*reuse_buffer=*/false);
+    const double expected = 42.0 + 57.0 * percent / 100.0;
+    EXPECT_NEAR(us, expected, 6.0) << "clear percent " << percent;
+  }
+}
+
+// §4: filling a page with zeros costs 57 us on the DecStation.
+TEST(Calibration, PageClearCost) {
+  World w{MachineConfig{}};
+  const SimTime before = w.machine.clock().Now();
+  auto f = w.machine.pmem().Allocate(/*clear=*/true);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(w.machine.clock().Now() - before, 57000u);
+}
+
+// Asymptotic throughput check: bytes over slope must reproduce the paper's
+// Mbps column within 10%.
+TEST(Table1, AsymptoticThroughput) {
+  struct Row {
+    bool cached;
+    bool vol;
+    double mbps;
+  };
+  const Row rows[] = {
+      {true, true, 10922.0}, {false, true, 1560.0}, {true, false, 1130.0}, {false, false, 697.0}};
+  for (const Row& r : rows) {
+    CalibrationFixture fx;
+    FbufTransferAdapter f(&fx.world().fsys, r.cached ? fx.path() : kNoPath, r.cached, r.vol);
+    const double us = fx.SlopeUs(f, false);
+    const double mbps = kPageSize * 8.0 / us;  // bits per microsecond = Mbps
+    EXPECT_NEAR(mbps, r.mbps, r.mbps * 0.15) << f.name();
+  }
+}
+
+}  // namespace
+}  // namespace fbufs

@@ -1,0 +1,100 @@
+// Property test for copy-on-write: random interleavings of writes, COW
+// shares and unmaps across three domains always match a value-semantics
+// shadow model.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "tests/test_util.h"
+
+namespace fbufs {
+namespace {
+
+using testing_util::ZeroCostConfig;
+
+class CowPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CowPropertyTest, RandomInterleavingsMatchShadowModel) {
+  Machine m(ZeroCostConfig());
+  Rng rng(GetParam());
+  constexpr std::uint64_t kPages = 3;
+
+  struct Owner {
+    Domain* domain = nullptr;
+    VirtAddr base = 0;
+    bool mapped = false;
+    // Shadow: the value of word 0 of each page this domain should observe.
+    std::array<std::uint32_t, kPages> shadow{};
+  };
+  std::array<Owner, 3> owners;
+  const char* names[3] = {"a", "b", "c"};
+  for (int i = 0; i < 3; ++i) {
+    owners[i].domain = m.CreateDomain(names[i]);
+  }
+
+  // Owner 0 starts with the buffer.
+  auto map_fresh = [&](Owner& o) {
+    auto va = o.domain->aspace().Allocate(kPages);
+    ASSERT_TRUE(va.has_value());
+    ASSERT_EQ(m.vm().MapAnonymous(*o.domain, *va, kPages, Prot::kReadWrite, true, true,
+                                  ChargeMode::kGeneral),
+              Status::kOk);
+    o.base = *va;
+    o.mapped = true;
+    o.shadow.fill(0);
+  };
+  map_fresh(owners[0]);
+
+  std::uint32_t counter = 1;
+  for (int step = 0; step < 200; ++step) {
+    const std::uint64_t op = rng.Below(3);
+    const std::size_t who = rng.Below(3);
+    Owner& w = owners[who];
+    if (op == 0 && w.mapped) {
+      // Write a fresh value into a random page.
+      const std::uint64_t page = rng.Below(kPages);
+      const std::uint32_t value = counter++;
+      ASSERT_EQ(w.domain->WriteWord(w.base + page * kPageSize, value), Status::kOk);
+      w.shadow[page] = value;
+    } else if (op == 1 && w.mapped) {
+      // COW-share to a random other domain (fresh range there).
+      const std::size_t to = rng.Below(3);
+      Owner& t = owners[to];
+      if (to == who || t.mapped) {
+        continue;
+      }
+      auto va = t.domain->aspace().Allocate(kPages);
+      ASSERT_TRUE(va.has_value());
+      ASSERT_EQ(m.vm().ShareCow(*w.domain, w.base, *t.domain, *va, kPages), Status::kOk);
+      t.base = *va;
+      t.mapped = true;
+      t.shadow = w.shadow;  // copy semantics: snapshot at share time
+    } else if (op == 2 && w.mapped && who != 0) {
+      // Unmap a receiver's copy entirely.
+      ASSERT_EQ(m.vm().Unmap(*w.domain, w.base, kPages, ChargeMode::kStreamlined),
+                Status::kOk);
+      w.domain->aspace().Free(w.base, kPages);
+      w.mapped = false;
+    }
+
+    // Verify every mapped domain sees exactly its shadow values.
+    for (Owner& o : owners) {
+      if (!o.mapped) {
+        continue;
+      }
+      for (std::uint64_t page = 0; page < kPages; ++page) {
+        std::uint32_t got = 0;
+        ASSERT_EQ(o.domain->ReadWord(o.base + page * kPageSize, &got), Status::kOk);
+        ASSERT_EQ(got, o.shadow[page])
+            << "step " << step << " domain " << o.domain->name() << " page " << page;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CowPropertyTest, ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace fbufs

@@ -1,0 +1,153 @@
+// Additional VM-layer coverage: domain accessors across page boundaries,
+// TLB capacity interactions, remap edge cases, and cost accounting for the
+// primitive operations.
+#include <gtest/gtest.h>
+
+#include "src/vm/machine.h"
+#include "tests/test_util.h"
+
+namespace fbufs {
+namespace {
+
+using testing_util::ZeroCostConfig;
+
+class DomainAccessTest : public ::testing::Test {
+ protected:
+  DomainAccessTest() : m_(ZeroCostConfig()) {
+    d_ = m_.CreateDomain("app");
+    auto va = d_->aspace().Allocate(4);
+    EXPECT_TRUE(va.has_value());
+    base_ = *va;
+    EXPECT_EQ(m_.vm().MapAnonymous(*d_, base_, 4, Prot::kReadWrite, true, true,
+                                   ChargeMode::kGeneral),
+              Status::kOk);
+  }
+
+  Machine m_;
+  Domain* d_;
+  VirtAddr base_ = 0;
+};
+
+TEST_F(DomainAccessTest, ReadWriteSpanningAllPages) {
+  std::vector<std::uint8_t> data(4 * kPageSize);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  ASSERT_EQ(d_->WriteBytes(base_, data.data(), data.size()), Status::kOk);
+  std::vector<std::uint8_t> got(data.size());
+  ASSERT_EQ(d_->ReadBytes(base_, got.data(), got.size()), Status::kOk);
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(DomainAccessTest, PartialFailureLeavesEarlierPagesWritten) {
+  // A write crossing into an unmapped page fails, but bytes written to the
+  // mapped prefix are already in place (page-at-a-time semantics).
+  std::vector<std::uint8_t> data(2 * kPageSize, 0xEE);
+  const VirtAddr start = base_ + 3 * kPageSize;  // last mapped page
+  EXPECT_EQ(d_->WriteBytes(start, data.data(), data.size()), Status::kNotMapped);
+  std::uint8_t b = 0;
+  ASSERT_EQ(d_->ReadBytes(start, &b, 1), Status::kOk);
+  EXPECT_EQ(b, 0xEE);
+}
+
+TEST_F(DomainAccessTest, TouchRangeHitsEveryPageOnce) {
+  const SimStats before = m_.stats();
+  ASSERT_EQ(d_->TouchRange(base_, 4 * kPageSize, Access::kRead), Status::kOk);
+  // 4 pages touched on a cold TLB: exactly 4 misses.
+  EXPECT_EQ(m_.stats().Since(before).tlb_misses, 4u);
+}
+
+TEST_F(DomainAccessTest, TlbHitsOnRepeatWithinCapacity) {
+  ASSERT_EQ(d_->TouchRange(base_, 4 * kPageSize, Access::kRead), Status::kOk);
+  const SimStats before = m_.stats();
+  ASSERT_EQ(d_->TouchRange(base_, 4 * kPageSize, Access::kRead), Status::kOk);
+  EXPECT_EQ(m_.stats().Since(before).tlb_misses, 0u);
+}
+
+TEST_F(DomainAccessTest, ZeroLengthAccessSucceeds) {
+  std::uint8_t dummy = 0;
+  EXPECT_EQ(d_->ReadBytes(base_, &dummy, 0), Status::kOk);
+  EXPECT_EQ(d_->WriteBytes(base_, &dummy, 0), Status::kOk);
+}
+
+TEST(DomainCosts, WordTouchChargesMemWord) {
+  Machine m{MachineConfig{}};
+  Domain* d = m.CreateDomain("app");
+  auto va = d->aspace().Allocate(1);
+  ASSERT_TRUE(va.has_value());
+  ASSERT_EQ(m.vm().MapAnonymous(*d, *va, 1, Prot::kReadWrite, true, false,
+                                ChargeMode::kStreamlined),
+            Status::kOk);
+  std::uint32_t v;
+  ASSERT_EQ(d->ReadWord(*va, &v), Status::kOk);  // warm the TLB
+  const SimTime before = m.clock().Now();
+  ASSERT_EQ(d->ReadWord(*va, &v), Status::kOk);
+  EXPECT_EQ(m.clock().Now() - before, m.costs().mem_word_ns);
+}
+
+TEST(RemapEdge, UnmaterializedPageMovesAsZeroFill) {
+  Machine m(ZeroCostConfig());
+  Domain* a = m.CreateDomain("a");
+  Domain* b = m.CreateDomain("b");
+  auto va = a->aspace().Allocate(1);
+  ASSERT_TRUE(va.has_value());
+  // Lazy mapping: no frame yet.
+  ASSERT_EQ(m.vm().MapAnonymous(*a, *va, 1, Prot::kReadWrite, /*eager=*/false, true,
+                                ChargeMode::kGeneral),
+            Status::kOk);
+  ASSERT_EQ(m.vm().Remap(*a, *va, *b, *va, 1), Status::kOk);
+  // The receiver's first touch zero-fills.
+  std::uint32_t v = 7;
+  ASSERT_EQ(b->ReadWord(*va, &v), Status::kOk);
+  EXPECT_EQ(v, 0u);
+  EXPECT_EQ(a->FindEntry(PageOf(*va)), nullptr);
+}
+
+TEST(RemapEdge, RemapOfUnmappedRangeFails) {
+  Machine m(ZeroCostConfig());
+  Domain* a = m.CreateDomain("a");
+  Domain* b = m.CreateDomain("b");
+  EXPECT_EQ(m.vm().Remap(*a, 0x5000000, *b, 0x5000000, 1), Status::kNotMapped);
+}
+
+TEST(ProtectEdge, ProtectUnmappedFails) {
+  Machine m(ZeroCostConfig());
+  Domain* a = m.CreateDomain("a");
+  EXPECT_EQ(m.vm().Protect(*a, 0x5000000, 1, Prot::kRead, true), Status::kNotMapped);
+}
+
+TEST(TlbEdge, DomainSwitchKeepsSeparateTlbs) {
+  // Two domains mapping the same frame each pay their own TLB behaviour.
+  Machine m{MachineConfig{}};
+  Domain* a = m.CreateDomain("a");
+  Domain* b = m.CreateDomain("b");
+  auto va = a->aspace().Allocate(1);
+  ASSERT_TRUE(va.has_value());
+  ASSERT_EQ(m.vm().MapAnonymous(*a, *va, 1, Prot::kReadWrite, true, false,
+                                ChargeMode::kStreamlined),
+            Status::kOk);
+  const FrameId frame = a->DebugFrame(PageOf(*va));
+  ASSERT_EQ(m.vm().MapFrame(*b, PageOf(*va), frame, Prot::kRead, ChargeMode::kStreamlined),
+            Status::kOk);
+  std::uint32_t v;
+  ASSERT_EQ(a->ReadWord(*va, &v), Status::kOk);
+  const SimStats mid = m.stats();
+  ASSERT_EQ(b->ReadWord(*va, &v), Status::kOk);  // b's TLB is cold
+  EXPECT_EQ(m.stats().Since(mid).tlb_misses, 1u);
+}
+
+TEST(MachineEdge, DomainIdsAreStableAndSequential) {
+  Machine m(ZeroCostConfig());
+  Domain* a = m.CreateDomain("a");
+  Domain* b = m.CreateDomain("b");
+  EXPECT_EQ(a->id(), 1u);
+  EXPECT_EQ(b->id(), 2u);
+  m.DestroyDomain(a->id());
+  Domain* c = m.CreateDomain("c");
+  EXPECT_EQ(c->id(), 3u);          // tombstones keep ids stable
+  EXPECT_EQ(m.domain(1u), a);      // still addressable
+  EXPECT_FALSE(m.domain(1u)->alive());
+}
+
+}  // namespace
+}  // namespace fbufs

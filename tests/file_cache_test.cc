@@ -1,0 +1,212 @@
+// Tests for the unified buffer cache extension: zero-copy reads, shared
+// blocks, captured writes, eviction, and dynamic memory sharing with the
+// network subsystem.
+#include <gtest/gtest.h>
+
+#include "src/cache/file_cache.h"
+#include "src/proto/loopback_stack.h"
+#include "tests/test_util.h"
+
+namespace fbufs {
+namespace {
+
+using testing_util::World;
+using testing_util::ZeroCostConfig;
+
+class FileCacheTest : public ::testing::Test {
+ protected:
+  FileCacheTest() : world_(ZeroCostConfig()) {
+    app_ = world_.AddDomain("app");
+    app2_ = world_.AddDomain("app2");
+  }
+
+  static FileCacheConfig SmallConfig() {
+    FileCacheConfig c;
+    c.block_bytes = 8192;
+    c.capacity_blocks = 4;
+    return c;
+  }
+
+  World world_;
+  Domain* app_;
+  Domain* app2_;
+};
+
+TEST_F(FileCacheTest, MissThenHit) {
+  FileCache cache(&world_.fsys, SmallConfig());
+  Message m1;
+  ASSERT_EQ(cache.Read(1, 0, *app_, &m1), Status::kOk);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.disk_reads(), 1u);
+  ASSERT_EQ(cache.Release(m1, *app_), Status::kOk);
+
+  Message m2;
+  ASSERT_EQ(cache.Read(1, 0, *app_, &m2), Status::kOk);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.disk_reads(), 1u);  // no second disk access
+  ASSERT_EQ(cache.Release(m2, *app_), Status::kOk);
+}
+
+TEST_F(FileCacheTest, ReadContentIsDeterministicAndReadable) {
+  FileCache cache(&world_.fsys, SmallConfig());
+  Message m;
+  ASSERT_EQ(cache.Read(3, 7, *app_, &m), Status::kOk);
+  EXPECT_EQ(m.length(), 8192u);
+  std::vector<std::uint8_t> data(64);
+  ASSERT_EQ(m.CopyOut(*app_, 0, data.data(), data.size()), Status::kOk);
+  for (std::uint64_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], static_cast<std::uint8_t>(3 * 37 + 7 * 11 + i));
+  }
+  // The application cannot scribble on the cache.
+  EXPECT_EQ(m.Touch(*app_, Access::kWrite), Status::kProtection);
+  ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+}
+
+TEST_F(FileCacheTest, TwoReadersShareOnePhysicalBlock) {
+  FileCache cache(&world_.fsys, SmallConfig());
+  Message a, b;
+  ASSERT_EQ(cache.Read(1, 0, *app_, &a), Status::kOk);
+  ASSERT_EQ(cache.Read(1, 0, *app2_, &b), Status::kOk);
+  EXPECT_EQ(cache.disk_reads(), 1u);
+  // Identical frames under both readers: one copy of the data, period.
+  Fbuf* fb = a.Fbufs()[0];
+  EXPECT_EQ(fb, b.Fbufs()[0]);
+  EXPECT_EQ(app_->DebugFrame(PageOf(fb->base)), app2_->DebugFrame(PageOf(fb->base)));
+  EXPECT_EQ(world_.machine.stats().bytes_copied, 0u);
+  ASSERT_EQ(cache.Release(a, *app_), Status::kOk);
+  ASSERT_EQ(cache.Release(b, *app2_), Status::kOk);
+}
+
+TEST_F(FileCacheTest, ReadIsZeroCopyEvenAcrossRepeats) {
+  FileCache cache(&world_.fsys, SmallConfig());
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    ASSERT_EQ(cache.Read(2, 1, *app_, &m), Status::kOk);
+    ASSERT_EQ(m.Touch(*app_, Access::kRead), Status::kOk);
+    ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+  }
+  EXPECT_EQ(world_.machine.stats().bytes_copied, 0u);
+  // After the first read the app's mappings persist: no more pt work.
+  const SimStats before = world_.machine.stats();
+  Message m;
+  ASSERT_EQ(cache.Read(2, 1, *app_, &m), Status::kOk);
+  ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+  EXPECT_EQ(world_.machine.stats().Since(before).pt_updates, 0u);
+}
+
+TEST_F(FileCacheTest, LruEvictionUnderCapacity) {
+  FileCache cache(&world_.fsys, SmallConfig());  // capacity 4
+  for (std::uint64_t b = 0; b < 6; ++b) {
+    Message m;
+    ASSERT_EQ(cache.Read(1, b, *app_, &m), Status::kOk);
+    ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+  }
+  EXPECT_EQ(cache.resident_blocks(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  // Blocks 0 and 1 were evicted; re-reading hits the disk again.
+  Message m;
+  ASSERT_EQ(cache.Read(1, 0, *app_, &m), Status::kOk);
+  EXPECT_EQ(cache.disk_reads(), 7u);
+  ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+}
+
+TEST_F(FileCacheTest, HotBlockSurvivesEviction) {
+  FileCache cache(&world_.fsys, SmallConfig());
+  auto touch = [&](std::uint64_t b) {
+    Message m;
+    ASSERT_EQ(cache.Read(1, b, *app_, &m), Status::kOk);
+    ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+  };
+  touch(0);
+  for (std::uint64_t b = 1; b < 6; ++b) {
+    touch(0);  // keep block 0 hot
+    touch(b);
+  }
+  const std::uint64_t reads_before = cache.disk_reads();
+  touch(0);
+  EXPECT_EQ(cache.disk_reads(), reads_before);  // still resident
+}
+
+TEST_F(FileCacheTest, WriteCapturesApplicationBufferByReference) {
+  FileCache cache(&world_.fsys, SmallConfig());
+  // The app builds a block in its own fbuf and writes it.
+  const PathId path = world_.fsys.paths().Register({app_->id(), kKernelDomainId});
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(world_.fsys.Allocate(*app_, path, 8192, true, &fb), Status::kOk);
+  std::vector<std::uint8_t> content(8192, 0x5A);
+  ASSERT_EQ(app_->WriteBytes(fb->base, content.data(), content.size()), Status::kOk);
+  ASSERT_EQ(cache.Write(9, 0, *app_, Message::Whole(fb)), Status::kOk);
+  // Captured by reference: no copy. And frozen: the writer lost write access.
+  EXPECT_EQ(world_.machine.stats().bytes_copied, 0u);
+  EXPECT_EQ(app_->WriteWord(fb->base, 1), Status::kProtection);
+  // A reader sees the written content, not disk content.
+  Message m;
+  ASSERT_EQ(cache.Read(9, 0, *app2_, &m), Status::kOk);
+  std::uint8_t byte = 0;
+  ASSERT_EQ(m.CopyOut(*app2_, 100, &byte, 1), Status::kOk);
+  EXPECT_EQ(byte, 0x5A);
+  EXPECT_EQ(cache.disk_reads(), 0u);
+  ASSERT_EQ(cache.Release(m, *app2_), Status::kOk);
+  ASSERT_EQ(world_.fsys.Free(fb, *app_), Status::kOk);
+}
+
+TEST_F(FileCacheTest, WriteWrongSizeRejected) {
+  FileCache cache(&world_.fsys, SmallConfig());
+  const PathId path = world_.fsys.paths().Register({app_->id(), kKernelDomainId});
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(world_.fsys.Allocate(*app_, path, 100, true, &fb), Status::kOk);
+  EXPECT_EQ(cache.Write(1, 0, *app_, Message::Whole(fb)), Status::kInvalidArgument);
+  ASSERT_EQ(world_.fsys.Free(fb, *app_), Status::kOk);
+}
+
+TEST_F(FileCacheTest, ShrinkReleasesMemoryToTheSharedPool) {
+  FileCache cache(&world_.fsys, SmallConfig());
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    Message m;
+    ASSERT_EQ(cache.Read(1, b, *app_, &m), Status::kOk);
+    ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+  }
+  const std::uint32_t free_before = world_.machine.pmem().free_frames();
+  EXPECT_EQ(cache.Shrink(1), 3u);
+  world_.fsys.ReclaimFreeMemory();
+  EXPECT_GT(world_.machine.pmem().free_frames(), free_before);
+}
+
+TEST_F(FileCacheTest, CoexistsWithNetworkTrafficInOneMemoryPool) {
+  // The paper's point against dedicated adapter memory: cache blocks and
+  // network buffers draw from the same physical pool.
+  FileCache cache(&world_.fsys, SmallConfig());
+  LoopbackStackConfig lcfg;
+  lcfg.three_domains = false;
+  LoopbackStack ls(&world_.machine, &world_.fsys, &world_.rpc, lcfg);
+  for (int round = 0; round < 3; ++round) {
+    Message m;
+    ASSERT_EQ(cache.Read(1, static_cast<std::uint64_t>(round), *app_, &m), Status::kOk);
+    ASSERT_EQ(ls.SendMessage(20000), Status::kOk);
+    ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+  }
+  EXPECT_EQ(ls.sink().received(), 3u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST_F(FileCacheTest, DiskCostsAreCharged) {
+  World w{MachineConfig{}};
+  Domain* app = w.AddDomain("app");
+  FileCacheConfig cfg;
+  FileCache cache(&w.fsys, cfg);
+  const SimTime before = w.machine.clock().Now();
+  Message m;
+  ASSERT_EQ(cache.Read(1, 0, *app, &m), Status::kOk);
+  const SimTime miss_time = w.machine.clock().Now() - before;
+  EXPECT_GE(miss_time, cfg.disk_access_ns);
+  ASSERT_EQ(cache.Release(m, *app), Status::kOk);
+  // Hits skip the disk entirely.
+  const SimTime before2 = w.machine.clock().Now();
+  ASSERT_EQ(cache.Read(1, 0, *app, &m), Status::kOk);
+  EXPECT_LT(w.machine.clock().Now() - before2, cfg.disk_access_ns);
+  ASSERT_EQ(cache.Release(m, *app), Status::kOk);
+}
+
+}  // namespace
+}  // namespace fbufs

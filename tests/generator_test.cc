@@ -1,0 +1,123 @@
+// Tests for the application data-unit generator (§5.2).
+#include <gtest/gtest.h>
+
+#include "src/msg/generator.h"
+#include "tests/test_util.h"
+
+namespace fbufs {
+namespace {
+
+using testing_util::World;
+using testing_util::ZeroCostConfig;
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() : world_(ZeroCostConfig()) {
+    d_ = world_.AddDomain("app");
+    path_ = world_.fsys.paths().Register({d_->id()});
+  }
+
+  Fbuf* Filled(std::uint64_t bytes, std::uint8_t seed) {
+    Fbuf* fb = nullptr;
+    EXPECT_EQ(world_.fsys.Allocate(*d_, path_, bytes, true, &fb), Status::kOk);
+    std::vector<std::uint8_t> data(bytes);
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+      data[i] = static_cast<std::uint8_t>(seed + i);
+    }
+    EXPECT_EQ(d_->WriteBytes(fb->base, data.data(), bytes), Status::kOk);
+    return fb;
+  }
+
+  World world_;
+  Domain* d_;
+  PathId path_;
+};
+
+TEST_F(GeneratorTest, FixedUnitsWithinOneFragmentAreZeroCopy) {
+  Fbuf* a = Filled(100, 0);
+  UnitGenerator gen(Message::Whole(a), d_, 20);
+  std::vector<std::uint8_t> unit;
+  bool zero_copy = false;
+  int count = 0;
+  while (!gen.Done()) {
+    ASSERT_EQ(gen.Next(&unit, &zero_copy), Status::kOk);
+    EXPECT_TRUE(zero_copy);
+    EXPECT_EQ(unit.size(), 20u);
+    EXPECT_EQ(unit[0], static_cast<std::uint8_t>(count * 20));
+    count++;
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(gen.units_copied(), 0u);
+}
+
+TEST_F(GeneratorTest, UnitCrossingFragmentBoundaryCopies) {
+  Fbuf* a = Filled(30, 0);
+  Fbuf* b = Filled(30, 30);
+  Message m = Message::Concat(Message::Whole(a), Message::Whole(b));
+  UnitGenerator gen(m, d_, 20);
+  std::vector<std::uint8_t> unit;
+  bool zero_copy = true;
+  // Unit 0: [0,20) in fragment a — zero copy.
+  ASSERT_EQ(gen.Next(&unit, &zero_copy), Status::kOk);
+  EXPECT_TRUE(zero_copy);
+  // Unit 1: [20,40) straddles the seam — copied, but content is right.
+  ASSERT_EQ(gen.Next(&unit, &zero_copy), Status::kOk);
+  EXPECT_FALSE(zero_copy);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(unit[static_cast<std::size_t>(i)], static_cast<std::uint8_t>(20 + i));
+  }
+  // Unit 2: [40,60) back inside fragment b.
+  ASSERT_EQ(gen.Next(&unit, &zero_copy), Status::kOk);
+  EXPECT_TRUE(zero_copy);
+  EXPECT_EQ(gen.units_copied(), 1u);
+  EXPECT_EQ(gen.units_returned(), 3u);
+}
+
+TEST_F(GeneratorTest, ShortFinalUnit) {
+  Fbuf* a = Filled(25, 0);
+  UnitGenerator gen(Message::Whole(a), d_, 10);
+  std::vector<std::uint8_t> unit;
+  bool zc;
+  ASSERT_EQ(gen.Next(&unit, &zc), Status::kOk);
+  ASSERT_EQ(gen.Next(&unit, &zc), Status::kOk);
+  ASSERT_EQ(gen.Next(&unit, &zc), Status::kOk);
+  EXPECT_EQ(unit.size(), 5u);
+  EXPECT_TRUE(gen.Done());
+  EXPECT_EQ(gen.Next(&unit, &zc), Status::kNotFound);
+}
+
+TEST_F(GeneratorTest, DelimitedUnitsFindLines) {
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(world_.fsys.Allocate(*d_, path_, 64, true, &fb), Status::kOk);
+  const char text[] = "alpha\nbeta\ngamma";
+  ASSERT_EQ(d_->WriteBytes(fb->base, text, sizeof(text) - 1), Status::kOk);
+  UnitGenerator gen(Message::Leaf(fb, 0, sizeof(text) - 1), d_, 0);
+  std::vector<std::uint8_t> line;
+  bool zc;
+  ASSERT_EQ(gen.NextDelimited('\n', &line, &zc), Status::kOk);
+  EXPECT_EQ(std::string(line.begin(), line.end()), "alpha\n");
+  ASSERT_EQ(gen.NextDelimited('\n', &line, &zc), Status::kOk);
+  EXPECT_EQ(std::string(line.begin(), line.end()), "beta\n");
+  ASSERT_EQ(gen.NextDelimited('\n', &line, &zc), Status::kOk);
+  EXPECT_EQ(std::string(line.begin(), line.end()), "gamma");
+  EXPECT_TRUE(gen.Done());
+}
+
+TEST_F(GeneratorTest, DelimitedAcrossFragments) {
+  Fbuf* a = nullptr;
+  Fbuf* b = nullptr;
+  ASSERT_EQ(world_.fsys.Allocate(*d_, path_, 8, true, &a), Status::kOk);
+  ASSERT_EQ(world_.fsys.Allocate(*d_, path_, 8, true, &b), Status::kOk);
+  ASSERT_EQ(d_->WriteBytes(a->base, "hel", 3), Status::kOk);
+  ASSERT_EQ(d_->WriteBytes(b->base, "lo\n", 3), Status::kOk);
+  Message m = Message::Concat(Message::Leaf(a, 0, 3), Message::Leaf(b, 0, 3));
+  UnitGenerator gen(m, d_, 0);
+  std::vector<std::uint8_t> line;
+  bool zc = true;
+  ASSERT_EQ(gen.NextDelimited('\n', &line, &zc), Status::kOk);
+  EXPECT_EQ(std::string(line.begin(), line.end()), "hello\n");
+  EXPECT_FALSE(zc);  // straddles the seam
+}
+
+}  // namespace
+}  // namespace fbufs

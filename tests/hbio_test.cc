@@ -1,0 +1,175 @@
+// Tests for endpoints and the high-bandwidth I/O channel (§5.2).
+#include <gtest/gtest.h>
+
+#include "src/fbuf/endpoint.h"
+#include "src/msg/hbio.h"
+#include "tests/test_util.h"
+
+namespace fbufs {
+namespace {
+
+using testing_util::World;
+using testing_util::ZeroCostConfig;
+
+class HbioTest : public ::testing::Test {
+ protected:
+  HbioTest() : world_(ZeroCostConfig()), endpoints_(&world_.fsys) {
+    producer_ = world_.AddDomain("producer");
+    consumer_ = world_.AddDomain("consumer");
+  }
+
+  World world_;
+  EndpointManager endpoints_;
+  Domain* producer_;
+  Domain* consumer_;
+};
+
+TEST_F(HbioTest, EndpointAllocatesCachedBuffers) {
+  Endpoint* ep = endpoints_.Create(*producer_, {producer_->id(), consumer_->id()});
+  ASSERT_NE(ep, nullptr);
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(endpoints_.AllocateBuffer(ep, *producer_, 1000, true, &fb), Status::kOk);
+  EXPECT_TRUE(fb->cached);
+  ASSERT_EQ(world_.fsys.Free(fb, *producer_), Status::kOk);
+  // Reuse comes from the endpoint's path cache.
+  Fbuf* again = nullptr;
+  ASSERT_EQ(endpoints_.AllocateBuffer(ep, *producer_, 1000, true, &again), Status::kOk);
+  EXPECT_EQ(again, fb);
+}
+
+TEST_F(HbioTest, DestroyedEndpointRefusesAllocation) {
+  Endpoint* ep = endpoints_.Create(*producer_, {producer_->id()});
+  endpoints_.Destroy(ep);
+  Fbuf* fb = nullptr;
+  EXPECT_EQ(endpoints_.AllocateBuffer(ep, *producer_, 100, true, &fb),
+            Status::kInvalidArgument);
+}
+
+TEST_F(HbioTest, EndpointDestructionFreesPathBuffers) {
+  Endpoint* ep = endpoints_.Create(*producer_, {producer_->id(), consumer_->id()});
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(endpoints_.AllocateBuffer(ep, *producer_, kPageSize, true, &fb), Status::kOk);
+  ASSERT_EQ(world_.fsys.Free(fb, *producer_), Status::kOk);
+  ASSERT_TRUE(fb->free_listed);
+  endpoints_.Destroy(ep);
+  EXPECT_TRUE(fb->dead);
+}
+
+TEST_F(HbioTest, PutGetRoundTripZeroCopy) {
+  HbioChannel chan(&world_.fsys, &world_.rpc, &endpoints_, producer_, consumer_);
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(chan.GetBuffer(500, &fb), Status::kOk);
+  std::vector<std::uint8_t> pattern(500);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<std::uint8_t>(i);
+  }
+  ASSERT_EQ(producer_->WriteBytes(fb->base, pattern.data(), pattern.size()), Status::kOk);
+  ASSERT_EQ(chan.Put(Message::Whole(fb)), Status::kOk);
+
+  auto m = chan.Get();
+  ASSERT_TRUE(m.has_value());
+  std::vector<std::uint8_t> got(m->length());
+  ASSERT_EQ(m->CopyOut(*consumer_, 0, got.data(), got.size()), Status::kOk);
+  EXPECT_EQ(got, pattern);
+  EXPECT_EQ(world_.machine.stats().bytes_copied, 0u);
+  ASSERT_EQ(chan.Done(*m), Status::kOk);
+}
+
+TEST_F(HbioTest, AggregatePutPreservesOrder) {
+  HbioChannel chan(&world_.fsys, &world_.rpc, &endpoints_, producer_, consumer_);
+  Message agg;
+  for (int i = 0; i < 3; ++i) {
+    Fbuf* fb = nullptr;
+    ASSERT_EQ(chan.GetBuffer(100, &fb), Status::kOk);
+    std::vector<std::uint8_t> part(100, static_cast<std::uint8_t>(i));
+    ASSERT_EQ(producer_->WriteBytes(fb->base, part.data(), part.size()), Status::kOk);
+    agg = Message::Concat(agg, Message::Whole(fb));
+  }
+  ASSERT_EQ(chan.Put(agg), Status::kOk);
+  auto m = chan.Get();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->length(), 300u);
+  std::uint8_t b = 0xff;
+  ASSERT_EQ(m->CopyOut(*consumer_, 150, &b, 1), Status::kOk);
+  EXPECT_EQ(b, 1);
+  ASSERT_EQ(chan.Done(*m), Status::kOk);
+}
+
+TEST_F(HbioTest, QueueCapacityBounds) {
+  HbioChannel chan(&world_.fsys, &world_.rpc, &endpoints_, producer_, consumer_,
+                   /*queue_capacity=*/2);
+  for (int i = 0; i < 2; ++i) {
+    Fbuf* fb = nullptr;
+    ASSERT_EQ(chan.GetBuffer(10, &fb), Status::kOk);
+    ASSERT_EQ(chan.Put(Message::Whole(fb)), Status::kOk);
+  }
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(chan.GetBuffer(10, &fb), Status::kOk);
+  EXPECT_EQ(chan.Put(Message::Whole(fb)), Status::kExhausted);
+  ASSERT_EQ(world_.fsys.Free(fb, *producer_), Status::kOk);
+}
+
+TEST_F(HbioTest, ReaderConsumesRecords) {
+  HbioChannel chan(&world_.fsys, &world_.rpc, &endpoints_, producer_, consumer_);
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(chan.GetBuffer(1000, &fb), Status::kOk);
+  ASSERT_EQ(producer_->TouchRange(fb->base, 1000, Access::kWrite), Status::kOk);
+  ASSERT_EQ(chan.Put(Message::Whole(fb)), Status::kOk);
+  auto m = chan.Get();
+  ASSERT_TRUE(m.has_value());
+  UnitGenerator reader = chan.Reader(*m, 100);
+  std::vector<std::uint8_t> unit;
+  bool zc;
+  int records = 0;
+  while (reader.Next(&unit, &zc) == Status::kOk) {
+    records++;
+  }
+  EXPECT_EQ(records, 10);
+  ASSERT_EQ(chan.Done(*m), Status::kOk);
+}
+
+TEST_F(HbioTest, LegacyReadCopyPaysBandwidth) {
+  World w{MachineConfig{}};  // real costs
+  EndpointManager eps(&w.fsys);
+  Domain* prod = w.AddDomain("p");
+  Domain* cons = w.AddDomain("c");
+  HbioChannel chan(&w.fsys, &w.rpc, &eps, prod, cons);
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(chan.GetBuffer(8 * kPageSize, &fb), Status::kOk);
+  ASSERT_EQ(prod->TouchRange(fb->base, fb->bytes, Access::kWrite), Status::kOk);
+  ASSERT_EQ(chan.Put(Message::Whole(fb)), Status::kOk);
+  auto m = chan.Get();
+  ASSERT_TRUE(m.has_value());
+  std::vector<std::uint8_t> legacy(m->length());
+  const SimTime before = w.machine.clock().Now();
+  ASSERT_EQ(chan.ReadCopy(*m, legacy.data(), legacy.size()), Status::kOk);
+  const SimTime copy_time = w.machine.clock().Now() - before;
+  // The copy costs at least the memory-bandwidth floor (~201 us/page).
+  EXPECT_GE(copy_time, 8 * w.machine.costs().copy_page_ns);
+  EXPECT_EQ(w.machine.stats().bytes_copied, 8 * kPageSize);
+  ASSERT_EQ(chan.Done(*m), Status::kOk);
+}
+
+TEST_F(HbioTest, CloseDrainsAndKillsPath) {
+  auto chan = std::make_unique<HbioChannel>(&world_.fsys, &world_.rpc, &endpoints_,
+                                            producer_, consumer_);
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(chan->GetBuffer(100, &fb), Status::kOk);
+  ASSERT_EQ(chan->Put(Message::Whole(fb)), Status::kOk);
+  chan->Close();
+  EXPECT_TRUE(fb->dead);
+  Fbuf* after = nullptr;
+  EXPECT_EQ(chan->GetBuffer(100, &after), Status::kInvalidArgument);
+}
+
+TEST_F(HbioTest, ProducerTerminationTearsDownEndpoint) {
+  Endpoint* ep = endpoints_.Create(*producer_, {producer_->id(), consumer_->id()});
+  world_.machine.DestroyDomain(producer_->id());
+  EXPECT_FALSE(ep->alive);
+  Fbuf* fb = nullptr;
+  EXPECT_EQ(endpoints_.AllocateBuffer(ep, *consumer_, 100, true, &fb),
+            Status::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fbufs

@@ -1,0 +1,163 @@
+// Tests for pageable fbufs (§2.1.3): in-use buffers are paged out to
+// backing store and faulted back in with their contents — and all the
+// protection semantics — intact.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "tests/test_util.h"
+
+namespace fbufs {
+namespace {
+
+using testing_util::World;
+using testing_util::ZeroCostConfig;
+
+class PagingTest : public ::testing::Test {
+ protected:
+  PagingTest() : world_(ZeroCostConfig()) {
+    src_ = world_.AddDomain("src");
+    dst_ = world_.AddDomain("dst");
+    path_ = world_.fsys.paths().Register({src_->id(), dst_->id()});
+  }
+
+  Fbuf* AllocFilled(std::uint64_t bytes, std::uint8_t seed) {
+    Fbuf* fb = nullptr;
+    EXPECT_EQ(world_.fsys.Allocate(*src_, path_, bytes, true, &fb), Status::kOk);
+    std::vector<std::uint8_t> data(bytes);
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+      data[i] = static_cast<std::uint8_t>(seed + i * 3);
+    }
+    EXPECT_EQ(src_->WriteBytes(fb->base, data.data(), bytes), Status::kOk);
+    return fb;
+  }
+
+  World world_;
+  Domain* src_;
+  Domain* dst_;
+  PathId path_;
+};
+
+TEST_F(PagingTest, PageOutFreesFramesAndPreservesContents) {
+  Fbuf* fb = AllocFilled(3 * kPageSize, 10);
+  const std::uint32_t free_before = world_.machine.pmem().free_frames();
+  EXPECT_EQ(world_.fsys.PageOutInUse(), 3u);
+  EXPECT_EQ(world_.machine.pmem().free_frames(), free_before + 3);
+  EXPECT_EQ(world_.fsys.SwapResidentPages(), 3u);
+  EXPECT_EQ(world_.machine.stats().pages_swapped_out, 3u);
+  // Touch: pages fault back in with the data intact.
+  std::vector<std::uint8_t> got(3 * kPageSize);
+  ASSERT_EQ(src_->ReadBytes(fb->base, got.data(), got.size()), Status::kOk);
+  for (std::uint64_t i = 0; i < got.size(); i += 1013) {
+    EXPECT_EQ(got[i], static_cast<std::uint8_t>(10 + i * 3));
+  }
+  EXPECT_EQ(world_.machine.stats().pages_swapped_in, 3u);
+  EXPECT_EQ(world_.fsys.SwapResidentPages(), 0u);
+  ASSERT_EQ(world_.fsys.Free(fb, *src_), Status::kOk);
+}
+
+TEST_F(PagingTest, ReceiverFaultsSwappedPageBackIn) {
+  Fbuf* fb = AllocFilled(2 * kPageSize, 99);
+  ASSERT_EQ(world_.fsys.Transfer(fb, *src_, *dst_), Status::kOk);
+  ASSERT_EQ(world_.fsys.PageOutInUse(), 2u);
+  // The receiver touches first: it drives the page-in; data is correct.
+  std::uint32_t word = 0;
+  ASSERT_EQ(dst_->ReadWord(fb->base + kPageSize, &word), Status::kOk);
+  std::uint8_t expect[4];
+  for (int i = 0; i < 4; ++i) {
+    expect[i] = static_cast<std::uint8_t>(99 + (kPageSize + static_cast<std::uint64_t>(i)) * 3);
+  }
+  std::uint32_t expect_word;
+  std::memcpy(&expect_word, expect, 4);
+  EXPECT_EQ(word, expect_word);
+  // The originator then shares the same faulted-in frame.
+  std::uint32_t word2 = 0;
+  ASSERT_EQ(src_->ReadWord(fb->base + kPageSize, &word2), Status::kOk);
+  EXPECT_EQ(word2, word);
+  EXPECT_EQ(src_->DebugFrame(PageOf(fb->base) + 1), dst_->DebugFrame(PageOf(fb->base) + 1));
+  ASSERT_EQ(world_.fsys.Free(fb, *dst_), Status::kOk);
+  ASSERT_EQ(world_.fsys.Free(fb, *src_), Status::kOk);
+}
+
+TEST_F(PagingTest, ImmutabilitySurvivesPaging) {
+  Fbuf* fb = AllocFilled(kPageSize, 1);
+  ASSERT_EQ(world_.fsys.Transfer(fb, *src_, *dst_), Status::kOk);
+  ASSERT_EQ(world_.fsys.Secure(fb, *dst_), Status::kOk);
+  ASSERT_EQ(world_.fsys.PageOutInUse(), 1u);
+  // The secured originator still cannot write — even though the page must
+  // first be faulted back in to check.
+  EXPECT_EQ(src_->WriteWord(fb->base, 7), Status::kProtection);
+  // The receiver still cannot write either.
+  EXPECT_EQ(dst_->WriteWord(fb->base, 7), Status::kProtection);
+  // Reads work for both.
+  std::uint32_t v;
+  EXPECT_EQ(dst_->ReadWord(fb->base, &v), Status::kOk);
+  ASSERT_EQ(world_.fsys.Free(fb, *dst_), Status::kOk);
+  ASSERT_EQ(world_.fsys.Free(fb, *src_), Status::kOk);
+}
+
+TEST_F(PagingTest, PageInChargesDiskCost) {
+  World w{MachineConfig{}};
+  Domain* s = w.AddDomain("s");
+  const PathId p = w.fsys.paths().Register({s->id()});
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(w.fsys.Allocate(*s, p, kPageSize, true, &fb), Status::kOk);
+  ASSERT_EQ(s->WriteWord(fb->base, 42), Status::kOk);
+  ASSERT_EQ(w.fsys.PageOutInUse(), 1u);
+  const SimTime before = w.machine.clock().Now();
+  std::uint32_t v;
+  ASSERT_EQ(s->ReadWord(fb->base, &v), Status::kOk);
+  EXPECT_EQ(v, 42u);
+  EXPECT_GE(w.machine.clock().Now() - before, w.machine.costs().page_in_ns);
+}
+
+TEST_F(PagingTest, FreeListedFbufsAreDiscardedNotPaged) {
+  Fbuf* fb = AllocFilled(2 * kPageSize, 5);
+  ASSERT_EQ(world_.fsys.Free(fb, *src_), Status::kOk);
+  EXPECT_EQ(world_.fsys.PageOutInUse(), 0u);  // free-listed: not a paging victim
+  EXPECT_EQ(world_.fsys.ReclaimFreeMemory(), 2u);
+}
+
+TEST_F(PagingTest, FreeingSwappedFbufDropsItsBackingStore) {
+  Fbuf* fb = AllocFilled(2 * kPageSize, 5);
+  ASSERT_EQ(world_.fsys.PageOutInUse(), 2u);
+  EXPECT_EQ(world_.fsys.SwapResidentPages(), 2u);
+  ASSERT_EQ(world_.fsys.Free(fb, *src_), Status::kOk);
+  EXPECT_EQ(world_.fsys.SwapResidentPages(), 0u);
+  // Reuse sees cleared pages, not the old contents.
+  Fbuf* again = nullptr;
+  ASSERT_EQ(world_.fsys.Allocate(*src_, path_, 2 * kPageSize, true, &again), Status::kOk);
+  EXPECT_EQ(again, fb);
+  std::uint32_t v = 1;
+  ASSERT_EQ(src_->ReadWord(again->base, &v), Status::kOk);
+  EXPECT_EQ(v, 0u);
+  ASSERT_EQ(world_.fsys.Free(again, *src_), Status::kOk);
+}
+
+TEST_F(PagingTest, BoundedPageOutTakesPartialVictims) {
+  Fbuf* a = AllocFilled(4 * kPageSize, 1);
+  EXPECT_EQ(world_.fsys.PageOutInUse(2), 2u);
+  EXPECT_EQ(world_.fsys.SwapResidentPages(), 2u);
+  // Everything still reads correctly (mixed resident/swapped).
+  std::vector<std::uint8_t> got(4 * kPageSize);
+  ASSERT_EQ(src_->ReadBytes(a->base, got.data(), got.size()), Status::kOk);
+  for (std::uint64_t i = 0; i < got.size(); i += 997) {
+    EXPECT_EQ(got[i], static_cast<std::uint8_t>(1 + i * 3));
+  }
+  ASSERT_EQ(world_.fsys.Free(a, *src_), Status::kOk);
+}
+
+TEST_F(PagingTest, RepeatedPagingCycles) {
+  Fbuf* fb = AllocFilled(kPageSize, 77);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ASSERT_EQ(world_.fsys.PageOutInUse(), 1u);
+    std::uint8_t byte = 0;
+    ASSERT_EQ(src_->ReadBytes(fb->base + 100, &byte, 1), Status::kOk);
+    EXPECT_EQ(byte, static_cast<std::uint8_t>(77 + 100 * 3));
+  }
+  EXPECT_EQ(world_.machine.stats().pages_swapped_in, 5u);
+  ASSERT_EQ(world_.fsys.Free(fb, *src_), Status::kOk);
+}
+
+}  // namespace
+}  // namespace fbufs

@@ -1,0 +1,287 @@
+// Tests for the protocol framework: UDP/IP header handling, fragmentation
+// and reassembly, the loopback stack in its one- and three-domain
+// configurations, and the reference discipline across domain boundaries.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/proto/loopback_stack.h"
+#include "tests/test_util.h"
+
+namespace fbufs {
+namespace {
+
+using testing_util::World;
+using testing_util::ZeroCostConfig;
+
+LoopbackStackConfig DefaultCfg() {
+  LoopbackStackConfig cfg;
+  cfg.pdu_size = 4096;
+  return cfg;
+}
+
+TEST(LoopbackStack, SingleDomainDeliversMessage) {
+  World w(ZeroCostConfig());
+  LoopbackStackConfig cfg = DefaultCfg();
+  cfg.three_domains = false;
+  LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, cfg);
+  ASSERT_EQ(ls.SendMessage(1000), Status::kOk);
+  EXPECT_EQ(ls.sink().received(), 1u);
+  EXPECT_EQ(ls.sink().bytes_received(), 1000u);
+  EXPECT_EQ(w.machine.stats().ipc_calls, 0u);
+}
+
+TEST(LoopbackStack, ThreeDomainsDeliversMessage) {
+  World w(ZeroCostConfig());
+  LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, DefaultCfg());
+  ASSERT_EQ(ls.SendMessage(1000), Status::kOk);
+  EXPECT_EQ(ls.sink().received(), 1u);
+  EXPECT_EQ(ls.sink().bytes_received(), 1000u);
+  // Two boundary crossings: originator -> netserver, netserver -> receiver.
+  EXPECT_EQ(w.machine.stats().ipc_calls, 2u);
+}
+
+TEST(LoopbackStack, LargeMessageFragmentsAndReassembles) {
+  World w(ZeroCostConfig());
+  LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, DefaultCfg());
+  const std::uint64_t size = 64 * 1024;
+  ASSERT_EQ(ls.SendMessage(size), Status::kOk);
+  EXPECT_EQ(ls.sink().bytes_received(), size);
+  // 64 KB of body plus the 12-byte UDP header: 17 fragments of <= 4 KB.
+  EXPECT_EQ(ls.ip().fragments_sent(), 17u);
+  EXPECT_EQ(ls.ip().datagrams_reassembled(), 1u);
+  EXPECT_EQ(ls.ip().reassembly_backlog(), 0u);
+}
+
+TEST(LoopbackStack, OddSizesSurvive) {
+  World w(ZeroCostConfig());
+  LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, DefaultCfg());
+  for (const std::uint64_t size : {1ull, 13ull, 4095ull, 4097ull, 12289ull, 100001ull}) {
+    ASSERT_EQ(ls.SendMessage(size), Status::kOk) << size;
+  }
+  EXPECT_EQ(ls.sink().received(), 6u);
+  EXPECT_EQ(ls.sink().bytes_received(), 1u + 13 + 4095 + 4097 + 12289 + 100001);
+}
+
+TEST(LoopbackStack, RepeatedMessagesReuseCachedFbufs) {
+  World w(ZeroCostConfig());
+  LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, DefaultCfg());
+  ASSERT_EQ(ls.SendMessage(8192), Status::kOk);  // cold: mappings get built
+  const SimStats before = w.machine.stats();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(ls.SendMessage(8192), Status::kOk);
+  }
+  const SimStats d = w.machine.stats().Since(before);
+  // Warm path: no page-table work at all, every allocation a cache hit.
+  EXPECT_EQ(d.pt_updates, 0u);
+  EXPECT_EQ(d.pages_cleared, 0u);
+  EXPECT_GE(d.fbuf_cache_hits, 5u);
+}
+
+TEST(LoopbackStack, UncachedModeDoesMappingWorkEveryMessage) {
+  World w(ZeroCostConfig());
+  LoopbackStackConfig cfg = DefaultCfg();
+  cfg.cached_paths = false;
+  LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, cfg);
+  ASSERT_EQ(ls.SendMessage(8192), Status::kOk);
+  const SimStats before = w.machine.stats();
+  ASSERT_EQ(ls.SendMessage(8192), Status::kOk);
+  EXPECT_GT(w.machine.stats().Since(before).pt_updates, 0u);
+}
+
+TEST(LoopbackStack, NoFbufLeaksAfterTraffic) {
+  World w(ZeroCostConfig());
+  LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, DefaultCfg());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(ls.SendMessage(20000), Status::kOk);
+  }
+  // Every fbuf must be back on a free list (or dead): none in flight.
+  for (FbufId id = 0;; ++id) {
+    Fbuf* fb = w.fsys.Get(id);
+    if (fb == nullptr) {
+      break;
+    }
+    EXPECT_TRUE(fb->free_listed || fb->dead) << "fbuf " << id << " leaked";
+    EXPECT_TRUE(fb->holders.empty()) << "fbuf " << id << " still held";
+  }
+}
+
+TEST(LoopbackStack, NonVolatileModeSecuresBuffers) {
+  World w(ZeroCostConfig());
+  LoopbackStackConfig cfg = DefaultCfg();
+  cfg.volatile_fbufs = false;
+  LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, cfg);
+  ASSERT_EQ(ls.SendMessage(4096), Status::kOk);
+  EXPECT_EQ(ls.sink().bytes_received(), 4096u);
+}
+
+TEST(LoopbackStack, DataIntegrityAcrossThePath) {
+  // A checking sink that verifies the pattern written by a checking source.
+  World w(ZeroCostConfig());
+  LoopbackStackConfig cfg = DefaultCfg();
+  LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, cfg);
+  // Replace the source's write with a full pattern: allocate via the fbuf
+  // system directly on the registered data path.
+  // (Simpler: use the stack's own protocols but write bytes first.)
+  Domain* src = ls.source().domain();
+  Fbuf* fb = nullptr;
+  // The data path is the one the source uses; find it by allocating through
+  // the source's path id: reuse SendOne-like flow manually.
+  const PathId data_path = 0;  // first registered path in LoopbackStack
+  ASSERT_EQ(w.fsys.Allocate(*src, data_path, 10000, true, &fb), Status::kOk);
+  std::vector<std::uint8_t> pattern(10000);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  ASSERT_EQ(src->WriteBytes(fb->base, pattern.data(), pattern.size()), Status::kOk);
+  // Deliver through the stack from the source protocol, exactly as SendOne
+  // would (including the originator -> netserver crossing).
+  Message m = Message::Whole(fb);
+  ASSERT_EQ(ls.stack().Deliver(m, &ls.source(), &ls.udp(), /*down=*/true), Status::kOk);
+  // Read back in the receiver domain through the sink's last message... the
+  // sink only counts; instead verify via a fresh CopyOut from the receiver
+  // domain — the fbuf is mapped there now.
+  Domain* dst = ls.sink().domain();
+  std::vector<std::uint8_t> got(10000);
+  ASSERT_EQ(dst->ReadBytes(fb->base, got.data(), got.size()), Status::kOk);
+  EXPECT_EQ(got, pattern);
+  ASSERT_EQ(w.fsys.Free(fb, *src), Status::kOk);
+}
+
+TEST(LoopbackStack, ThroughputOrderingCachedVsUncached) {
+  // With real DecStation costs, cached fbufs must beat uncached by >2x on
+  // the 3-domain loopback path (the paper's Figure 4 headline).
+  const std::uint64_t size = 256 * 1024;
+  auto run = [&](bool cached) {
+    World w{MachineConfig{}};
+    LoopbackStackConfig cfg = DefaultCfg();
+    cfg.cached_paths = cached;
+    LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, cfg);
+    EXPECT_EQ(ls.SendMessage(size), Status::kOk);  // warm
+    const SimTime before = w.machine.clock().Now();
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(ls.SendMessage(size), Status::kOk);
+    }
+    return w.machine.clock().Now() - before;
+  };
+  const SimTime cached_t = run(true);
+  const SimTime uncached_t = run(false);
+  EXPECT_GT(uncached_t, 2 * cached_t);
+}
+
+TEST(ProtocolStack, NonIntegratedChargesMarshal) {
+  World w{MachineConfig{}};
+  LoopbackStackConfig cfg = DefaultCfg();
+  cfg.integrated = false;
+  LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, cfg);
+  ASSERT_EQ(ls.SendMessage(4096), Status::kOk);
+  const SimTime t_non = w.machine.clock().Now();
+
+  World w2{MachineConfig{}};
+  LoopbackStack ls2(&w2.machine, &w2.fsys, &w2.rpc, DefaultCfg());
+  ASSERT_EQ(ls2.SendMessage(4096), Status::kOk);
+  EXPECT_GT(t_non, w2.machine.clock().Now());
+}
+
+TEST(Udp, ChecksumRejectsCorruptHeader) {
+  World w(ZeroCostConfig());
+  LoopbackStackConfig cfg = DefaultCfg();
+  cfg.three_domains = false;
+  LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, cfg);
+  Domain* d = ls.udp().domain();
+  // Hand-craft a PDU with a broken UDP checksum and pop it directly.
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(w.fsys.Allocate(*d, kNoPath, 64, true, &fb), Status::kOk);
+  UdpHeader h;
+  h.src_port = 1;
+  h.dst_port = 2000;
+  h.length = 64;
+  h.checksum = 0xdead;  // wrong
+  ASSERT_EQ(d->WriteBytes(fb->base, &h, sizeof(h)), Status::kOk);
+  EXPECT_EQ(ls.udp().Pop(Message::Whole(fb)), Status::kInvalidArgument);
+  EXPECT_EQ(ls.udp().dropped(), 1u);
+  ASSERT_EQ(w.fsys.Free(fb, *d), Status::kOk);
+}
+
+TEST(Udp, UnboundPortIsDropped) {
+  World w(ZeroCostConfig());
+  LoopbackStackConfig cfg = DefaultCfg();
+  cfg.three_domains = false;
+  LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, cfg);
+  ls.udp().SetDefaultPorts(1000, 9999);  // nobody bound to 9999
+  EXPECT_EQ(ls.SendMessage(100), Status::kNotFound);
+  EXPECT_EQ(ls.udp().dropped(), 1u);
+  EXPECT_EQ(ls.sink().received(), 0u);
+}
+
+TEST(Ip, OutOfOrderFragmentsReassemble) {
+  // Drive IP's Pop directly with fragments in reverse order.
+  World w(ZeroCostConfig());
+  LoopbackStackConfig cfg = DefaultCfg();
+  cfg.three_domains = false;
+  LoopbackStack ls(&w.machine, &w.fsys, &w.rpc, cfg);
+  Domain* d = ls.ip().domain();
+
+  auto make_pdu = [&](std::uint32_t id, std::uint32_t off, std::uint32_t adu_len,
+                      std::uint32_t body_len, std::uint8_t fill) {
+    Fbuf* fb = nullptr;
+    EXPECT_EQ(w.fsys.Allocate(*d, kNoPath, IpProtocol::kHeaderBytes + 12 + body_len, true, &fb),
+              Status::kOk);
+    // Body: a UDP header for the final demux plus payload, only in frag 0.
+    IpHeader h;
+    h.total_length = static_cast<std::uint32_t>(IpProtocol::kHeaderBytes + body_len);
+    h.id = id;
+    h.frag_offset = off;
+    h.adu_length = adu_len;
+    // Compute checksum the same way the implementation does.
+    IpHeader tmp = h;
+    tmp.checksum = 0;
+    const auto* words = reinterpret_cast<const std::uint16_t*>(&tmp);
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i < sizeof(tmp) / 2; ++i) {
+      sum += words[i];
+    }
+    while (sum >> 16) {
+      sum = (sum & 0xffff) + (sum >> 16);
+    }
+    h.checksum = static_cast<std::uint16_t>(~sum);
+    EXPECT_EQ(d->WriteBytes(fb->base, &h, sizeof(h)), Status::kOk);
+    std::vector<std::uint8_t> body(body_len, fill);
+    if (off == 0) {
+      UdpHeader uh;
+      uh.src_port = 1;
+      uh.dst_port = 2000;
+      uh.length = adu_len;  // header + payload across fragments
+      UdpHeader c = uh;
+      c.checksum = 0;
+      const auto* w16 = reinterpret_cast<const std::uint16_t*>(&c);
+      std::uint32_t s = 0;
+      for (std::size_t i = 0; i < sizeof(c) / 2; ++i) {
+        s += w16[i];
+      }
+      while (s >> 16) {
+        s = (s & 0xffff) + (s >> 16);
+      }
+      uh.checksum = static_cast<std::uint16_t>(~s);
+      std::memcpy(body.data(), &uh, sizeof(uh));
+    }
+    EXPECT_EQ(d->WriteBytes(fb->base + IpProtocol::kHeaderBytes, body.data(), body.size()),
+              Status::kOk);
+    return fb;
+  };
+
+  // One ADU of 100 bytes split 60/40 (including the 12-byte UDP header in
+  // the first fragment), delivered tail first.
+  Fbuf* f1 = make_pdu(7, 60, 100, 40, 0xbb);
+  Fbuf* f0 = make_pdu(7, 0, 100, 60, 0xaa);
+  ASSERT_EQ(ls.ip().Pop(Message::Whole(f1)), Status::kOk);
+  EXPECT_EQ(ls.sink().received(), 0u);  // incomplete
+  ASSERT_EQ(ls.ip().Pop(Message::Whole(f0)), Status::kOk);
+  EXPECT_EQ(ls.sink().received(), 1u);
+  EXPECT_EQ(ls.sink().bytes_received(), 100u - UdpProtocol::kHeaderBytes);
+  ASSERT_EQ(w.fsys.Free(f0, *d), Status::kOk);
+  ASSERT_EQ(w.fsys.Free(f1, *d), Status::kOk);
+}
+
+}  // namespace
+}  // namespace fbufs

@@ -1,0 +1,44 @@
+// Shared fixtures and helpers for the test suite.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/fbuf/fbuf_system.h"
+#include "src/ipc/rpc.h"
+#include "src/vm/machine.h"
+
+namespace fbufs {
+namespace testing_util {
+
+// A machine whose operations cost zero time: functional tests assert on
+// behaviour and counters, not the clock.
+inline MachineConfig ZeroCostConfig() {
+  MachineConfig cfg;
+  cfg.costs = CostParams::Zero();
+  return cfg;
+}
+
+// Full world: machine + fbuf system + rpc, with n user domains.
+struct World {
+  explicit World(const MachineConfig& cfg = ZeroCostConfig(),
+                 const FbufConfig& fcfg = FbufConfig())
+      : machine(cfg), fsys(&machine, fcfg), rpc(&machine) {
+    fsys.AttachRpc(&rpc);
+  }
+
+  Domain* AddDomain(const std::string& name) { return machine.CreateDomain(name); }
+
+  Machine machine;
+  FbufSystem fsys;
+  Rpc rpc;
+};
+
+// Microseconds helper for clock assertions.
+inline double Us(SimTime ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace testing_util
+}  // namespace fbufs
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -1,0 +1,136 @@
+// Tests for the event-trace facility and its wiring into the kernel paths.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace fbufs {
+namespace {
+
+using testing_util::World;
+using testing_util::ZeroCostConfig;
+
+TEST(Trace, DisabledByDefaultAndCostsNothing) {
+  World w(ZeroCostConfig());
+  Domain* a = w.AddDomain("a");
+  Fbuf* fb = nullptr;
+  const PathId p = w.fsys.paths().Register({a->id()});
+  ASSERT_EQ(w.fsys.Allocate(*a, p, kPageSize, true, &fb), Status::kOk);
+  EXPECT_EQ(w.machine.trace().total_emitted(), 0u);
+  EXPECT_EQ(w.machine.trace().size(), 0u);
+  ASSERT_EQ(w.fsys.Free(fb, *a), Status::kOk);
+}
+
+TEST(Trace, RecordsFbufLifecycle) {
+  World w(ZeroCostConfig());
+  w.machine.trace().Enable(TraceCategory::kFbuf);
+  Domain* a = w.AddDomain("a");
+  Domain* b = w.AddDomain("b");
+  const PathId p = w.fsys.paths().Register({a->id(), b->id()});
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(w.fsys.Allocate(*a, p, kPageSize, true, &fb), Status::kOk);
+  ASSERT_EQ(w.fsys.Transfer(fb, *a, *b), Status::kOk);
+  ASSERT_EQ(w.fsys.Free(fb, *b), Status::kOk);
+  ASSERT_EQ(w.fsys.Free(fb, *a), Status::kOk);
+  Trace& t = w.machine.trace();
+  EXPECT_EQ(t.Count("alloc-carve"), 1u);
+  EXPECT_EQ(t.Count("transfer"), 1u);
+  EXPECT_EQ(t.Count("return-to-owner"), 1u);
+  // The second allocation is a recorded cache hit.
+  ASSERT_EQ(w.fsys.Allocate(*a, p, kPageSize, true, &fb), Status::kOk);
+  EXPECT_EQ(t.Count("alloc-cache-hit"), 1u);
+  ASSERT_EQ(w.fsys.Free(fb, *a), Status::kOk);
+}
+
+TEST(Trace, CategoriesAreIndependent) {
+  World w(ZeroCostConfig());
+  w.machine.trace().Enable(TraceCategory::kIpc);  // not kFbuf
+  Domain* a = w.AddDomain("a");
+  Domain* b = w.AddDomain("b");
+  const PathId p = w.fsys.paths().Register({a->id(), b->id()});
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(w.fsys.Allocate(*a, p, kPageSize, true, &fb), Status::kOk);
+  w.rpc.ChargeCrossing(*a, *b);
+  EXPECT_EQ(w.machine.trace().Count("alloc-carve"), 0u);
+  EXPECT_EQ(w.machine.trace().Count("crossing"), 1u);
+  ASSERT_EQ(w.fsys.Free(fb, *a), Status::kOk);
+}
+
+TEST(Trace, RingBufferWrapsKeepingNewest) {
+  SimClock clock;
+  Trace t(&clock, /*capacity=*/4);
+  t.EnableAll();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    clock.Advance(1);
+    t.Emit(TraceCategory::kVm, "e", i, 0);
+  }
+  EXPECT_EQ(t.total_emitted(), 10u);
+  const auto events = t.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().a, 6u);  // oldest surviving
+  EXPECT_EQ(events.back().a, 9u);   // newest
+}
+
+TEST(Trace, EventsCarrySimulatedTime) {
+  World w{MachineConfig{}};
+  w.machine.trace().Enable(TraceCategory::kVm);
+  Domain* a = w.AddDomain("a");
+  Domain* b = w.AddDomain("b");
+  const PathId p = w.fsys.paths().Register({a->id(), b->id()});
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(w.fsys.Allocate(*a, p, kPageSize, false, &fb), Status::kOk);
+  ASSERT_EQ(w.fsys.Transfer(fb, *a, *b), Status::kOk);  // secures: protect op
+  const auto events = w.machine.trace().Snapshot();
+  ASSERT_FALSE(events.empty());
+  // Later events never have earlier timestamps.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  }
+  ASSERT_EQ(w.fsys.Free(fb, *b), Status::kOk);
+  ASSERT_EQ(w.fsys.Free(fb, *a), Status::kOk);
+}
+
+TEST(Trace, DumpIsHumanReadable) {
+  SimClock clock;
+  Trace t(&clock, 8);
+  t.EnableAll();
+  clock.Advance(5000);
+  t.Emit(TraceCategory::kFbuf, "transfer", 0x42, 0x7);
+  const std::string dump = t.Dump();
+  EXPECT_NE(dump.find("5us"), std::string::npos);
+  EXPECT_NE(dump.find("[fbuf]"), std::string::npos);
+  EXPECT_NE(dump.find("transfer"), std::string::npos);
+  EXPECT_NE(dump.find("0x42"), std::string::npos);
+}
+
+TEST(Trace, FaultPathsAreVisible) {
+  World w(ZeroCostConfig());
+  w.machine.trace().EnableAll();
+  Domain* a = w.AddDomain("a");
+  // Absent-data read in the region.
+  std::uint32_t v;
+  ASSERT_EQ(a->ReadWord(kFbufRegionBase + 7 * kPageSize, &v), Status::kOk);
+  EXPECT_EQ(w.machine.trace().Count("absent-leaf"), 1u);
+  // Page-in after a swap-out.
+  const PathId p = w.fsys.paths().Register({a->id()});
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(w.fsys.Allocate(*a, p, kPageSize, true, &fb), Status::kOk);
+  ASSERT_EQ(a->WriteWord(fb->base, 3), Status::kOk);
+  ASSERT_EQ(w.fsys.PageOutInUse(), 1u);
+  ASSERT_EQ(a->ReadWord(fb->base, &v), Status::kOk);
+  EXPECT_EQ(w.machine.trace().Count("page-in"), 1u);
+  ASSERT_EQ(w.fsys.Free(fb, *a), Status::kOk);
+}
+
+TEST(Trace, ClearResets) {
+  SimClock clock;
+  Trace t(&clock, 4);
+  t.EnableAll();
+  t.Emit(TraceCategory::kVm, "x");
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.total_emitted(), 0u);
+  EXPECT_TRUE(t.Snapshot().empty());
+}
+
+}  // namespace
+}  // namespace fbufs

@@ -1,0 +1,132 @@
+// Tests for §5.2 data manipulations: whole-data transforms into new buffers
+// and header replacement by buffer editing.
+#include <gtest/gtest.h>
+
+#include "src/msg/transform.h"
+#include "tests/test_util.h"
+
+namespace fbufs {
+namespace {
+
+using testing_util::World;
+using testing_util::ZeroCostConfig;
+
+class TransformTest : public ::testing::Test {
+ protected:
+  TransformTest() : world_(ZeroCostConfig()) {
+    d_ = world_.AddDomain("app");
+    path_ = world_.fsys.paths().Register({d_->id()});
+  }
+
+  Fbuf* Filled(std::uint64_t bytes, std::uint8_t seed) {
+    Fbuf* fb = nullptr;
+    EXPECT_EQ(world_.fsys.Allocate(*d_, path_, bytes, true, &fb), Status::kOk);
+    std::vector<std::uint8_t> data(bytes);
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+      data[i] = static_cast<std::uint8_t>(seed + i);
+    }
+    EXPECT_EQ(d_->WriteBytes(fb->base, data.data(), bytes), Status::kOk);
+    return fb;
+  }
+
+  World world_;
+  Domain* d_;
+  PathId path_;
+};
+
+TEST_F(TransformTest, XorEncryptionRoundTrips) {
+  Fbuf* fb = Filled(5000, 7);
+  Message plain = Message::Whole(fb);
+  auto xor_key = [](std::uint8_t b, std::uint64_t off) {
+    return static_cast<std::uint8_t>(b ^ (0xa5 + off % 13));
+  };
+  Message cipher, recovered;
+  Fbuf* cfb = nullptr;
+  Fbuf* rfb = nullptr;
+  ASSERT_EQ(TransformMessage(&world_.fsys, *d_, path_, plain, xor_key, &cipher, &cfb),
+            Status::kOk);
+  EXPECT_EQ(cipher.length(), plain.length());
+  // Ciphertext differs from plaintext.
+  std::uint8_t p0, c0;
+  ASSERT_EQ(plain.CopyOut(*d_, 0, &p0, 1), Status::kOk);
+  ASSERT_EQ(cipher.CopyOut(*d_, 0, &c0, 1), Status::kOk);
+  EXPECT_NE(p0, c0);
+  // Decrypt: same involution.
+  ASSERT_EQ(TransformMessage(&world_.fsys, *d_, path_, cipher, xor_key, &recovered, &rfb),
+            Status::kOk);
+  std::vector<std::uint8_t> a(plain.length()), b(plain.length());
+  ASSERT_EQ(plain.CopyOut(*d_, 0, a.data(), a.size()), Status::kOk);
+  ASSERT_EQ(recovered.CopyOut(*d_, 0, b.data(), b.size()), Status::kOk);
+  EXPECT_EQ(a, b);
+  // The original was never modified (immutability).
+  std::uint8_t still;
+  ASSERT_EQ(plain.CopyOut(*d_, 100, &still, 1), Status::kOk);
+  EXPECT_EQ(still, static_cast<std::uint8_t>(7 + 100));
+  ASSERT_EQ(world_.fsys.Free(cfb, *d_), Status::kOk);
+  ASSERT_EQ(world_.fsys.Free(rfb, *d_), Status::kOk);
+  ASSERT_EQ(world_.fsys.Free(fb, *d_), Status::kOk);
+}
+
+TEST_F(TransformTest, TransformOverFragmentedAggregate) {
+  Fbuf* a = Filled(300, 1);
+  Fbuf* b = Filled(300, 2);
+  Message m = Message::Concat(Message::Whole(a), Message::Whole(b));
+  Message upper;
+  Fbuf* ufb = nullptr;
+  // "Presentation conversion": to-upper on a byte stream.
+  ASSERT_EQ(TransformMessage(
+                &world_.fsys, *d_, path_, m,
+                [](std::uint8_t byte, std::uint64_t) {
+                  return static_cast<std::uint8_t>(byte >= 'a' && byte <= 'z' ? byte - 32
+                                                                              : byte);
+                },
+                &upper, &ufb),
+            Status::kOk);
+  EXPECT_EQ(upper.length(), 600u);
+  // Result is one contiguous buffer: fragmentation absorbed.
+  EXPECT_EQ(upper.Extents().size(), 1u);
+  ASSERT_EQ(world_.fsys.Free(ufb, *d_), Status::kOk);
+}
+
+TEST_F(TransformTest, EmptyMessageRejected) {
+  Message out;
+  Fbuf* fb = nullptr;
+  EXPECT_EQ(TransformMessage(&world_.fsys, *d_, path_, Message(),
+                             [](std::uint8_t b, std::uint64_t) { return b; }, &out, &fb),
+            Status::kInvalidArgument);
+}
+
+TEST_F(TransformTest, ReplaceHeaderSharesBody) {
+  Fbuf* original = Filled(1000, 0);
+  Fbuf* new_hdr = Filled(32, 200);
+  Message in = Message::Whole(original);
+  Message edited = ReplaceHeader(in, 16, Message::Whole(new_hdr));
+  EXPECT_EQ(edited.length(), 1000 - 16 + 32);
+  // First 32 bytes come from the new header.
+  std::uint8_t byte;
+  ASSERT_EQ(edited.CopyOut(*d_, 0, &byte, 1), Status::kOk);
+  EXPECT_EQ(byte, 200);
+  // Byte 32 of the edited message is byte 16 of the original.
+  ASSERT_EQ(edited.CopyOut(*d_, 32, &byte, 1), Status::kOk);
+  EXPECT_EQ(byte, 16);
+  // Body is shared, not copied.
+  EXPECT_EQ(world_.machine.stats().bytes_copied, 0u);
+  auto fbs = edited.Fbufs();
+  EXPECT_EQ(fbs.size(), 2u);
+  ASSERT_EQ(world_.fsys.Free(original, *d_), Status::kOk);
+  ASSERT_EQ(world_.fsys.Free(new_hdr, *d_), Status::kOk);
+}
+
+TEST_F(TransformTest, DebugDumpShowsSystemState) {
+  Fbuf* fb = Filled(2 * kPageSize, 1);
+  const std::string dump = world_.fsys.DebugDump();
+  EXPECT_NE(dump.find("fbuf region"), std::string::npos);
+  EXPECT_NE(dump.find("in flight"), std::string::npos);
+  EXPECT_NE(dump.find("allocator"), std::string::npos);
+  ASSERT_EQ(world_.fsys.Free(fb, *d_), Status::kOk);
+  const std::string dump2 = world_.fsys.DebugDump();
+  EXPECT_NE(dump2.find("free-listed=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbufs

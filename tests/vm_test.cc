@@ -1,0 +1,320 @@
+// Unit tests for the VM substrate: address space, pmap, TLB, domains,
+// faults, protection, and copy-on-write.
+#include <gtest/gtest.h>
+
+#include "src/vm/machine.h"
+#include "tests/test_util.h"
+
+namespace fbufs {
+namespace {
+
+using testing_util::World;
+using testing_util::ZeroCostConfig;
+
+TEST(AddressSpace, FirstFitAllocates) {
+  AddressSpace as;
+  auto a = as.Allocate(4);
+  auto b = as.Allocate(2);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*b, *a + 4 * kPageSize);
+}
+
+TEST(AddressSpace, FreeCoalesces) {
+  AddressSpace as;
+  auto a = as.Allocate(4);
+  auto b = as.Allocate(4);
+  auto c = as.Allocate(4);
+  ASSERT_TRUE(a && b && c);
+  const std::uint64_t before = as.free_bytes();
+  as.Free(*a, 4);
+  as.Free(*c, 4);
+  as.Free(*b, 4);
+  EXPECT_EQ(as.free_bytes(), before + 12 * kPageSize);
+  // The coalesced hole can satisfy the original combined request again.
+  auto again = as.Allocate(12);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *a);
+}
+
+TEST(AddressSpace, ExhaustionReturnsNullopt) {
+  AddressSpace as(AddressSpace::Empty{});
+  as.Extend(0x1000000, 8);
+  EXPECT_TRUE(as.Allocate(8).has_value());
+  EXPECT_FALSE(as.Allocate(1).has_value());
+}
+
+TEST(AddressSpace, ExtendAddsSpace) {
+  AddressSpace as(AddressSpace::Empty{});
+  EXPECT_FALSE(as.Allocate(1).has_value());
+  as.Extend(0x2000000, 4);
+  EXPECT_TRUE(as.Allocate(4).has_value());
+}
+
+TEST(Pmap, SetLookupRemove) {
+  SimStats stats;
+  Pmap p(&stats);
+  p.Set(10, 3, Prot::kReadWrite);
+  ASSERT_NE(p.Lookup(10), nullptr);
+  EXPECT_EQ(p.Lookup(10)->frame, 3u);
+  EXPECT_TRUE(p.SetProt(10, Prot::kRead));
+  EXPECT_EQ(p.Lookup(10)->prot, Prot::kRead);
+  EXPECT_TRUE(p.Remove(10));
+  EXPECT_EQ(p.Lookup(10), nullptr);
+  EXPECT_EQ(stats.pt_updates, 3u);
+}
+
+TEST(Tlb, MissChargesAndFills) {
+  SimClock clock;
+  CostParams costs = CostParams::DecStation5000();
+  SimStats stats;
+  Pmap pmap(&stats);
+  pmap.Set(5, 1, Prot::kRead);
+  Tlb tlb(4, &clock, &costs, &stats);
+  // First access misses.
+  const PmapEntry* e = tlb.Translate(5, pmap);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(stats.tlb_misses, 1u);
+  EXPECT_EQ(clock.Now(), costs.tlb_miss_ns);
+  // Second access hits: no extra charge.
+  e = tlb.Translate(5, pmap);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(stats.tlb_misses, 1u);
+  EXPECT_EQ(clock.Now(), costs.tlb_miss_ns);
+}
+
+TEST(Tlb, CapacityEviction) {
+  SimClock clock;
+  CostParams costs = CostParams::Zero();
+  SimStats stats;
+  Pmap pmap(&stats);
+  for (Vpn v = 0; v < 6; ++v) {
+    pmap.Set(v, static_cast<FrameId>(v), Prot::kRead);
+  }
+  Tlb tlb(4, &clock, &costs, &stats);
+  for (Vpn v = 0; v < 5; ++v) {
+    tlb.Translate(v, pmap);  // fills 0..3, then evicts 0 for 4
+  }
+  EXPECT_EQ(stats.tlb_misses, 5u);
+  tlb.Translate(0, pmap);  // 0 was evicted: miss again
+  EXPECT_EQ(stats.tlb_misses, 6u);
+}
+
+TEST(Tlb, FlushPageChargesConsistency) {
+  SimClock clock;
+  CostParams costs = CostParams::DecStation5000();
+  SimStats stats;
+  Pmap pmap(&stats);
+  pmap.Set(1, 1, Prot::kRead);
+  Tlb tlb(4, &clock, &costs, &stats);
+  tlb.Translate(1, pmap);
+  const SimTime before = clock.Now();
+  tlb.FlushPage(1);
+  EXPECT_EQ(clock.Now(), before + costs.tlb_flush_ns);
+  EXPECT_EQ(stats.tlb_flushes, 1u);
+  tlb.Translate(1, pmap);  // must miss again
+  EXPECT_EQ(stats.tlb_misses, 2u);
+}
+
+TEST(Machine, KernelIsDomainZeroAndTrusted) {
+  Machine m(ZeroCostConfig());
+  EXPECT_EQ(m.kernel().id(), kKernelDomainId);
+  EXPECT_TRUE(m.kernel().trusted());
+  Domain* u = m.CreateDomain("app");
+  EXPECT_FALSE(u->trusted());
+  EXPECT_EQ(m.domain(u->id()), u);
+  EXPECT_EQ(m.domain(999), nullptr);
+}
+
+TEST(Domain, AnonymousReadWriteRoundTrip) {
+  Machine m(ZeroCostConfig());
+  Domain* d = m.CreateDomain("app");
+  auto va = d->aspace().Allocate(2);
+  ASSERT_TRUE(va);
+  ASSERT_EQ(m.vm().MapAnonymous(*d, *va, 2, Prot::kReadWrite, true, true,
+                                ChargeMode::kGeneral),
+            Status::kOk);
+  const std::uint32_t magic = 0xdeadbeef;
+  ASSERT_EQ(d->WriteWord(*va + 100, magic), Status::kOk);
+  std::uint32_t got = 0;
+  ASSERT_EQ(d->ReadWord(*va + 100, &got), Status::kOk);
+  EXPECT_EQ(got, magic);
+}
+
+TEST(Domain, LazyZeroFillFaultsOnFirstTouch) {
+  Machine m(ZeroCostConfig());
+  Domain* d = m.CreateDomain("app");
+  auto va = d->aspace().Allocate(1);
+  ASSERT_TRUE(va);
+  ASSERT_EQ(m.vm().MapAnonymous(*d, *va, 1, Prot::kReadWrite, /*eager=*/false, true,
+                                ChargeMode::kGeneral),
+            Status::kOk);
+  const SimStats before = m.stats();
+  std::uint32_t v = 1;
+  ASSERT_EQ(d->ReadWord(*va, &v), Status::kOk);
+  EXPECT_EQ(v, 0u);  // zero-filled
+  EXPECT_EQ(m.stats().Since(before).page_faults, 1u);
+  // Second touch: no more faults.
+  const SimStats mid = m.stats();
+  ASSERT_EQ(d->ReadWord(*va, &v), Status::kOk);
+  EXPECT_EQ(m.stats().Since(mid).page_faults, 0u);
+}
+
+TEST(Domain, ReadOfUnmappedAddressFails) {
+  Machine m(ZeroCostConfig());
+  Domain* d = m.CreateDomain("app");
+  std::uint32_t v;
+  EXPECT_EQ(d->ReadWord(0x123000, &v), Status::kNotMapped);
+  EXPECT_GE(m.stats().prot_faults, 1u);
+}
+
+TEST(Domain, WriteToReadOnlyPageFails) {
+  Machine m(ZeroCostConfig());
+  Domain* d = m.CreateDomain("app");
+  auto va = d->aspace().Allocate(1);
+  ASSERT_TRUE(va);
+  ASSERT_EQ(m.vm().MapAnonymous(*d, *va, 1, Prot::kRead, true, true, ChargeMode::kGeneral),
+            Status::kOk);
+  EXPECT_EQ(d->WriteWord(*va, 1), Status::kProtection);
+  std::uint32_t v;
+  EXPECT_EQ(d->ReadWord(*va, &v), Status::kOk);
+}
+
+TEST(Domain, ProtectRevokesAndRestoresWrite) {
+  Machine m(ZeroCostConfig());
+  Domain* d = m.CreateDomain("app");
+  auto va = d->aspace().Allocate(1);
+  ASSERT_TRUE(va);
+  ASSERT_EQ(m.vm().MapAnonymous(*d, *va, 1, Prot::kReadWrite, true, true,
+                                ChargeMode::kGeneral),
+            Status::kOk);
+  ASSERT_EQ(d->WriteWord(*va, 1), Status::kOk);
+  ASSERT_EQ(m.vm().Protect(*d, *va, 1, Prot::kRead, true), Status::kOk);
+  EXPECT_EQ(d->WriteWord(*va, 2), Status::kProtection);
+  ASSERT_EQ(m.vm().Protect(*d, *va, 1, Prot::kReadWrite, true), Status::kOk);
+  EXPECT_EQ(d->WriteWord(*va, 3), Status::kOk);
+}
+
+TEST(Domain, StaleTlbEntryCannotBypassProtectionRaise) {
+  Machine m(ZeroCostConfig());
+  Domain* d = m.CreateDomain("app");
+  auto va = d->aspace().Allocate(1);
+  ASSERT_TRUE(va);
+  ASSERT_EQ(m.vm().MapAnonymous(*d, *va, 1, Prot::kReadWrite, true, true,
+                                ChargeMode::kGeneral),
+            Status::kOk);
+  // Load the TLB with a writable entry, then revoke write.
+  ASSERT_EQ(d->WriteWord(*va, 1), Status::kOk);
+  ASSERT_EQ(m.vm().Protect(*d, *va, 1, Prot::kRead, true), Status::kOk);
+  EXPECT_EQ(d->WriteWord(*va, 2), Status::kProtection);
+}
+
+TEST(Cow, SharingPreservesDataAndFrames) {
+  Machine m(ZeroCostConfig());
+  Domain* a = m.CreateDomain("a");
+  Domain* b = m.CreateDomain("b");
+  auto va = a->aspace().Allocate(2);
+  ASSERT_TRUE(va);
+  ASSERT_EQ(m.vm().MapAnonymous(*a, *va, 2, Prot::kReadWrite, true, true,
+                                ChargeMode::kGeneral),
+            Status::kOk);
+  ASSERT_EQ(a->WriteWord(*va, 0x1111), Status::kOk);
+  auto vb = b->aspace().Allocate(2);
+  ASSERT_TRUE(vb);
+  ASSERT_EQ(m.vm().ShareCow(*a, *va, *b, *vb, 2), Status::kOk);
+  std::uint32_t got = 0;
+  ASSERT_EQ(b->ReadWord(*vb, &got), Status::kOk);
+  EXPECT_EQ(got, 0x1111u);
+  // Zero-copy until a write: both map the same frame.
+  EXPECT_EQ(a->DebugFrame(PageOf(*va)), b->DebugFrame(PageOf(*vb)));
+}
+
+TEST(Cow, WriteBySenderCopiesWhenShared) {
+  Machine m(ZeroCostConfig());
+  Domain* a = m.CreateDomain("a");
+  Domain* b = m.CreateDomain("b");
+  auto va = a->aspace().Allocate(1);
+  auto vb = b->aspace().Allocate(1);
+  ASSERT_TRUE(va && vb);
+  ASSERT_EQ(m.vm().MapAnonymous(*a, *va, 1, Prot::kReadWrite, true, true,
+                                ChargeMode::kGeneral),
+            Status::kOk);
+  ASSERT_EQ(a->WriteWord(*va, 0xaaaa), Status::kOk);
+  ASSERT_EQ(m.vm().ShareCow(*a, *va, *b, *vb, 1), Status::kOk);
+  // Receiver reads (fault #1), then sender writes (fault #2 with copy).
+  std::uint32_t got = 0;
+  ASSERT_EQ(b->ReadWord(*vb, &got), Status::kOk);
+  ASSERT_EQ(a->WriteWord(*va, 0xbbbb), Status::kOk);
+  // Copy semantics: receiver still sees the old value.
+  ASSERT_EQ(b->ReadWord(*vb, &got), Status::kOk);
+  EXPECT_EQ(got, 0xaaaau);
+  std::uint32_t sender_sees = 0;
+  ASSERT_EQ(a->ReadWord(*va, &sender_sees), Status::kOk);
+  EXPECT_EQ(sender_sees, 0xbbbbu);
+  EXPECT_NE(a->DebugFrame(PageOf(*va)), b->DebugFrame(PageOf(*vb)));
+  EXPECT_GT(m.stats().bytes_copied, 0u);
+}
+
+TEST(Cow, WriteAfterReceiverFreeReclaimsWithoutCopy) {
+  Machine m(ZeroCostConfig());
+  Domain* a = m.CreateDomain("a");
+  Domain* b = m.CreateDomain("b");
+  auto va = a->aspace().Allocate(1);
+  auto vb = b->aspace().Allocate(1);
+  ASSERT_TRUE(va && vb);
+  ASSERT_EQ(m.vm().MapAnonymous(*a, *va, 1, Prot::kReadWrite, true, true,
+                                ChargeMode::kGeneral),
+            Status::kOk);
+  ASSERT_EQ(a->WriteWord(*va, 0xaaaa), Status::kOk);
+  ASSERT_EQ(m.vm().ShareCow(*a, *va, *b, *vb, 1), Status::kOk);
+  std::uint32_t got;
+  ASSERT_EQ(b->ReadWord(*vb, &got), Status::kOk);
+  ASSERT_EQ(m.vm().Unmap(*b, *vb, 1, ChargeMode::kStreamlined), Status::kOk);
+  const std::uint64_t copied_before = m.stats().bytes_copied;
+  ASSERT_EQ(a->WriteWord(*va, 0xcccc), Status::kOk);
+  // Sole owner again: write access restored without copying.
+  EXPECT_EQ(m.stats().bytes_copied, copied_before);
+}
+
+TEST(Cow, TwoFaultsPerTransferSteadyState) {
+  Machine m(ZeroCostConfig());
+  Domain* a = m.CreateDomain("a");
+  Domain* b = m.CreateDomain("b");
+  auto va = a->aspace().Allocate(1);
+  ASSERT_TRUE(va);
+  ASSERT_EQ(m.vm().MapAnonymous(*a, *va, 1, Prot::kReadWrite, true, true,
+                                ChargeMode::kGeneral),
+            Status::kOk);
+  ASSERT_EQ(a->WriteWord(*va, 1), Status::kOk);
+  // Warm up one round.
+  auto round = [&](std::uint32_t val) {
+    auto vb = b->aspace().Allocate(1);
+    ASSERT_TRUE(vb);
+    ASSERT_EQ(m.vm().ShareCow(*a, *va, *b, *vb, 1), Status::kOk);
+    std::uint32_t got;
+    ASSERT_EQ(b->ReadWord(*vb, &got), Status::kOk);
+    ASSERT_EQ(m.vm().Unmap(*b, *vb, 1, ChargeMode::kStreamlined), Status::kOk);
+    b->aspace().Free(*vb, 1);
+    ASSERT_EQ(a->WriteWord(*va, val), Status::kOk);
+  };
+  round(2);
+  const SimStats before = m.stats();
+  round(3);
+  EXPECT_EQ(m.stats().Since(before).page_faults, 2u);
+}
+
+TEST(Machine, DestroyDomainReleasesMemory) {
+  Machine m(ZeroCostConfig());
+  Domain* d = m.CreateDomain("doomed");
+  auto va = d->aspace().Allocate(4);
+  ASSERT_TRUE(va);
+  ASSERT_EQ(m.vm().MapAnonymous(*d, *va, 4, Prot::kReadWrite, true, true,
+                                ChargeMode::kGeneral),
+            Status::kOk);
+  const std::uint32_t free_before = m.pmem().free_frames();
+  m.DestroyDomain(d->id());
+  EXPECT_FALSE(d->alive());
+  EXPECT_EQ(m.pmem().free_frames(), free_before + 4);
+}
+
+}  // namespace
+}  // namespace fbufs
