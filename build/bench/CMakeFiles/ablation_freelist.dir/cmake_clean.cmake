@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_freelist.dir/ablation_freelist.cc.o"
+  "CMakeFiles/ablation_freelist.dir/ablation_freelist.cc.o.d"
+  "ablation_freelist"
+  "ablation_freelist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_freelist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

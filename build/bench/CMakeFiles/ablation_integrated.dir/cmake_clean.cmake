@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_integrated.dir/ablation_integrated.cc.o"
+  "CMakeFiles/ablation_integrated.dir/ablation_integrated.cc.o.d"
+  "ablation_integrated"
+  "ablation_integrated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_integrated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pathcache.dir/ablation_pathcache.cc.o"
+  "CMakeFiles/ablation_pathcache.dir/ablation_pathcache.cc.o.d"
+  "ablation_pathcache"
+  "ablation_pathcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pathcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_secure.dir/ablation_secure.cc.o"
+  "CMakeFiles/ablation_secure.dir/ablation_secure.cc.o.d"
+  "ablation_secure"
+  "ablation_secure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_secure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

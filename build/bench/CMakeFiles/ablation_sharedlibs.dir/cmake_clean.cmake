@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sharedlibs.dir/ablation_sharedlibs.cc.o"
+  "CMakeFiles/ablation_sharedlibs.dir/ablation_sharedlibs.cc.o.d"
+  "ablation_sharedlibs"
+  "ablation_sharedlibs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sharedlibs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

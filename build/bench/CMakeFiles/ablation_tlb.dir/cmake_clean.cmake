@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tlb.dir/ablation_tlb.cc.o"
+  "CMakeFiles/ablation_tlb.dir/ablation_tlb.cc.o.d"
+  "ablation_tlb"
+  "ablation_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_single_crossing.dir/fig3_single_crossing.cc.o"
+  "CMakeFiles/fig3_single_crossing.dir/fig3_single_crossing.cc.o.d"
+  "fig3_single_crossing"
+  "fig3_single_crossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_single_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

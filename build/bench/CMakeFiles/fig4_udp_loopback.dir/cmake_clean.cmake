@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_udp_loopback.dir/fig4_udp_loopback.cc.o"
+  "CMakeFiles/fig4_udp_loopback.dir/fig4_udp_loopback.cc.o.d"
+  "fig4_udp_loopback"
+  "fig4_udp_loopback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_udp_loopback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_endtoend_cached.cc" "bench/CMakeFiles/fig5_endtoend_cached.dir/fig5_endtoend_cached.cc.o" "gcc" "bench/CMakeFiles/fig5_endtoend_cached.dir/fig5_endtoend_cached.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fbufs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fbufs_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/fbufs_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fbuf/CMakeFiles/fbufs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/fbufs_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fbufs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/fbufs_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fbufs_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

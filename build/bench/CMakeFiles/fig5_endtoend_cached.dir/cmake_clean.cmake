@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_endtoend_cached.dir/fig5_endtoend_cached.cc.o"
+  "CMakeFiles/fig5_endtoend_cached.dir/fig5_endtoend_cached.cc.o.d"
+  "fig5_endtoend_cached"
+  "fig5_endtoend_cached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_endtoend_cached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_endtoend_uncached.dir/fig6_endtoend_uncached.cc.o"
+  "CMakeFiles/fig6_endtoend_uncached.dir/fig6_endtoend_uncached.cc.o.d"
+  "fig6_endtoend_uncached"
+  "fig6_endtoend_uncached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_endtoend_uncached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

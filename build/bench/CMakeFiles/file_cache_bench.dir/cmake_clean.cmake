@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_cache_bench.dir/file_cache_bench.cc.o"
+  "CMakeFiles/file_cache_bench.dir/file_cache_bench.cc.o.d"
+  "file_cache_bench"
+  "file_cache_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_cache_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

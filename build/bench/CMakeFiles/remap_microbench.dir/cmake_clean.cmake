@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_microbench.dir/remap_microbench.cc.o"
+  "CMakeFiles/remap_microbench.dir/remap_microbench.cc.o.d"
+  "remap_microbench"
+  "remap_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

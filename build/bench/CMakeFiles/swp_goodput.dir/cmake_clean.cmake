@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_goodput.dir/swp_goodput.cc.o"
+  "CMakeFiles/swp_goodput.dir/swp_goodput.cc.o.d"
+  "swp_goodput"
+  "swp_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_per_page_costs.dir/table1_per_page_costs.cc.o"
+  "CMakeFiles/table1_per_page_costs.dir/table1_per_page_costs.cc.o.d"
+  "table1_per_page_costs"
+  "table1_per_page_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_per_page_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_per_page_costs.
+# This may be replaced when dependencies are built.

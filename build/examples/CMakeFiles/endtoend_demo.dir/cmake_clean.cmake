@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endtoend_demo.dir/endtoend_demo.cpp.o"
+  "CMakeFiles/endtoend_demo.dir/endtoend_demo.cpp.o.d"
+  "endtoend_demo"
+  "endtoend_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endtoend_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbufs_baseline.dir/copy_transfer.cc.o"
+  "CMakeFiles/fbufs_baseline.dir/copy_transfer.cc.o.d"
+  "CMakeFiles/fbufs_baseline.dir/cow_transfer.cc.o"
+  "CMakeFiles/fbufs_baseline.dir/cow_transfer.cc.o.d"
+  "CMakeFiles/fbufs_baseline.dir/remap_transfer.cc.o"
+  "CMakeFiles/fbufs_baseline.dir/remap_transfer.cc.o.d"
+  "libfbufs_baseline.a"
+  "libfbufs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbufs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbufs_cache.dir/file_cache.cc.o"
+  "CMakeFiles/fbufs_cache.dir/file_cache.cc.o.d"
+  "libfbufs_cache.a"
+  "libfbufs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbufs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbufs_core.dir/fbuf_system.cc.o"
+  "CMakeFiles/fbufs_core.dir/fbuf_system.cc.o.d"
+  "libfbufs_core.a"
+  "libfbufs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbufs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbufs_ipc.dir/rpc.cc.o"
+  "CMakeFiles/fbufs_ipc.dir/rpc.cc.o.d"
+  "libfbufs_ipc.a"
+  "libfbufs_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbufs_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfbufs_ipc.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbufs_msg.dir/generator.cc.o"
+  "CMakeFiles/fbufs_msg.dir/generator.cc.o.d"
+  "CMakeFiles/fbufs_msg.dir/message.cc.o"
+  "CMakeFiles/fbufs_msg.dir/message.cc.o.d"
+  "CMakeFiles/fbufs_msg.dir/stored_message.cc.o"
+  "CMakeFiles/fbufs_msg.dir/stored_message.cc.o.d"
+  "libfbufs_msg.a"
+  "libfbufs_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbufs_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

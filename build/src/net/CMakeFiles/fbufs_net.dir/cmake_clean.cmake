@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbufs_net.dir/atm.cc.o"
+  "CMakeFiles/fbufs_net.dir/atm.cc.o.d"
+  "CMakeFiles/fbufs_net.dir/driver.cc.o"
+  "CMakeFiles/fbufs_net.dir/driver.cc.o.d"
+  "CMakeFiles/fbufs_net.dir/testbed.cc.o"
+  "CMakeFiles/fbufs_net.dir/testbed.cc.o.d"
+  "libfbufs_net.a"
+  "libfbufs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbufs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbufs_proto.dir/ip.cc.o"
+  "CMakeFiles/fbufs_proto.dir/ip.cc.o.d"
+  "CMakeFiles/fbufs_proto.dir/loopback_stack.cc.o"
+  "CMakeFiles/fbufs_proto.dir/loopback_stack.cc.o.d"
+  "CMakeFiles/fbufs_proto.dir/protocol.cc.o"
+  "CMakeFiles/fbufs_proto.dir/protocol.cc.o.d"
+  "CMakeFiles/fbufs_proto.dir/swp.cc.o"
+  "CMakeFiles/fbufs_proto.dir/swp.cc.o.d"
+  "CMakeFiles/fbufs_proto.dir/udp.cc.o"
+  "CMakeFiles/fbufs_proto.dir/udp.cc.o.d"
+  "libfbufs_proto.a"
+  "libfbufs_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbufs_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fbufs_proto.
+# This may be replaced when dependencies are built.

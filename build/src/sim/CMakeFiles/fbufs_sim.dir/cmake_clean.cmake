@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbufs_sim.dir/cost_model.cc.o"
+  "CMakeFiles/fbufs_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/fbufs_sim.dir/phys_mem.cc.o"
+  "CMakeFiles/fbufs_sim.dir/phys_mem.cc.o.d"
+  "CMakeFiles/fbufs_sim.dir/stats.cc.o"
+  "CMakeFiles/fbufs_sim.dir/stats.cc.o.d"
+  "CMakeFiles/fbufs_sim.dir/trace.cc.o"
+  "CMakeFiles/fbufs_sim.dir/trace.cc.o.d"
+  "libfbufs_sim.a"
+  "libfbufs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbufs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/address_space.cc" "src/vm/CMakeFiles/fbufs_vm.dir/address_space.cc.o" "gcc" "src/vm/CMakeFiles/fbufs_vm.dir/address_space.cc.o.d"
+  "/root/repo/src/vm/domain.cc" "src/vm/CMakeFiles/fbufs_vm.dir/domain.cc.o" "gcc" "src/vm/CMakeFiles/fbufs_vm.dir/domain.cc.o.d"
+  "/root/repo/src/vm/machine.cc" "src/vm/CMakeFiles/fbufs_vm.dir/machine.cc.o" "gcc" "src/vm/CMakeFiles/fbufs_vm.dir/machine.cc.o.d"
+  "/root/repo/src/vm/types.cc" "src/vm/CMakeFiles/fbufs_vm.dir/types.cc.o" "gcc" "src/vm/CMakeFiles/fbufs_vm.dir/types.cc.o.d"
+  "/root/repo/src/vm/vm_manager.cc" "src/vm/CMakeFiles/fbufs_vm.dir/vm_manager.cc.o" "gcc" "src/vm/CMakeFiles/fbufs_vm.dir/vm_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fbufs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

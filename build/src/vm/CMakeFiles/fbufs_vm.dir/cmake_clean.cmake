@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbufs_vm.dir/address_space.cc.o"
+  "CMakeFiles/fbufs_vm.dir/address_space.cc.o.d"
+  "CMakeFiles/fbufs_vm.dir/domain.cc.o"
+  "CMakeFiles/fbufs_vm.dir/domain.cc.o.d"
+  "CMakeFiles/fbufs_vm.dir/machine.cc.o"
+  "CMakeFiles/fbufs_vm.dir/machine.cc.o.d"
+  "CMakeFiles/fbufs_vm.dir/types.cc.o"
+  "CMakeFiles/fbufs_vm.dir/types.cc.o.d"
+  "CMakeFiles/fbufs_vm.dir/vm_manager.cc.o"
+  "CMakeFiles/fbufs_vm.dir/vm_manager.cc.o.d"
+  "libfbufs_vm.a"
+  "libfbufs_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbufs_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

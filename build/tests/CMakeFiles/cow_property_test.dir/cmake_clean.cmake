@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cow_property_test.dir/cow_property_test.cc.o"
+  "CMakeFiles/cow_property_test.dir/cow_property_test.cc.o.d"
+  "cow_property_test"
+  "cow_property_test.pdb"
+  "cow_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cow_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_access_test.dir/domain_access_test.cc.o"
+  "CMakeFiles/domain_access_test.dir/domain_access_test.cc.o.d"
+  "domain_access_test"
+  "domain_access_test.pdb"
+  "domain_access_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_access_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbuf_edge_test.dir/fbuf_edge_test.cc.o"
+  "CMakeFiles/fbuf_edge_test.dir/fbuf_edge_test.cc.o.d"
+  "fbuf_edge_test"
+  "fbuf_edge_test.pdb"
+  "fbuf_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbuf_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbuf_test.dir/fbuf_test.cc.o"
+  "CMakeFiles/fbuf_test.dir/fbuf_test.cc.o.d"
+  "fbuf_test"
+  "fbuf_test.pdb"
+  "fbuf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbuf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

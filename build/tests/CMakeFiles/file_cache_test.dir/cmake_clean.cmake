@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_cache_test.dir/file_cache_test.cc.o"
+  "CMakeFiles/file_cache_test.dir/file_cache_test.cc.o.d"
+  "file_cache_test"
+  "file_cache_test.pdb"
+  "file_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbio_test.dir/hbio_test.cc.o"
+  "CMakeFiles/hbio_test.dir/hbio_test.cc.o.d"
+  "hbio_test"
+  "hbio_test.pdb"
+  "hbio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_edge_test.dir/msg_edge_test.cc.o"
+  "CMakeFiles/msg_edge_test.dir/msg_edge_test.cc.o.d"
+  "msg_edge_test"
+  "msg_edge_test.pdb"
+  "msg_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiflow_test.dir/multiflow_test.cc.o"
+  "CMakeFiles/multiflow_test.dir/multiflow_test.cc.o.d"
+  "multiflow_test"
+  "multiflow_test.pdb"
+  "multiflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stored_message_test.dir/stored_message_test.cc.o"
+  "CMakeFiles/stored_message_test.dir/stored_message_test.cc.o.d"
+  "stored_message_test"
+  "stored_message_test.pdb"
+  "stored_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stored_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

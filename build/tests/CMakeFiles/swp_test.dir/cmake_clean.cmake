@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_test.dir/swp_test.cc.o"
+  "CMakeFiles/swp_test.dir/swp_test.cc.o.d"
+  "swp_test"
+  "swp_test.pdb"
+  "swp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/fbuf_test[1]_include.cmake")
+include("/root/repo/build/tests/msg_test[1]_include.cmake")
+include("/root/repo/build/tests/stored_message_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/swp_test[1]_include.cmake")
+include("/root/repo/build/tests/hbio_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/file_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/paging_test[1]_include.cmake")
+include("/root/repo/build/tests/testbed_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/cow_property_test[1]_include.cmake")
+include("/root/repo/build/tests/atm_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/fbuf_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/msg_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/domain_access_test[1]_include.cmake")
+include("/root/repo/build/tests/multiflow_test[1]_include.cmake")
