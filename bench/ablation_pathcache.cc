@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/bench_util.h"
 #include "src/net/testbed.h"
 
 namespace fbufs {
@@ -86,9 +87,15 @@ double PerPduUs(std::uint32_t vcis) {
 int Main() {
   std::printf("\n=== Ablation A6: adapter path cache (16 MRU VCIs) vs active circuits ===\n");
   std::printf("%14s %16s\n", "active-vcis", "us/PDU (rx)");
+  JsonReport report("ablation_pathcache");
   for (const std::uint32_t v : {1u, 4u, 8u, 16u, 17u, 24u, 32u}) {
-    std::printf("%14u %16.1f\n", v, PerPduUs(v));
+    const double us = PerPduUs(v);
+    std::printf("%14u %16.1f\n", v, us);
+    report.BeginRow()
+        .Field("active_vcis", static_cast<double>(v))
+        .Field("us_per_pdu_rx", us);
   }
+  report.Write();
   std::printf(
       "\nreading: up to 16 circuits every PDU reuses a cached per-path fbuf; past the MRU\n"
       "table the round-robin defeats it and every delivery pays the uncached path.\n");

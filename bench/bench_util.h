@@ -134,6 +134,68 @@ inline double PerPageSlopeUs(BenchWorld& w, TransferFacility& f, bool reuse_buff
 
 // --- Output helpers ----------------------------------------------------------
 
+// Machine-readable results: each bench accumulates rows of (key, value)
+// fields and writes them as BENCH_<name>.json next to its stdout table, so
+// sweeps can be diffed and plotted without scraping text.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  JsonReport& BeginRow() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonReport& Field(const std::string& key, double value) {
+    rows_.back().push_back(Entry{key, /*is_number=*/true, value, {}});
+    return *this;
+  }
+  JsonReport& Field(const std::string& key, const std::string& value) {
+    rows_.back().push_back(Entry{key, /*is_number=*/false, 0, value});
+    return *this;
+  }
+
+  // Writes BENCH_<name>.json in the working directory.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name_.c_str());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "    {");
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        const Entry& e = rows_[r][i];
+        std::fprintf(f, "%s\"%s\": ", i == 0 ? "" : ", ", e.key.c_str());
+        if (e.is_number) {
+          if (e.num == e.num) {  // not NaN
+            std::fprintf(f, "%.10g", e.num);
+          } else {
+            std::fprintf(f, "null");
+          }
+        } else {
+          std::fprintf(f, "\"%s\"", e.str.c_str());
+        }
+      }
+      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    bool is_number;
+    double num;
+    std::string str;
+  };
+  std::string name_;
+  std::vector<std::vector<Entry>> rows_;
+};
+
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }

@@ -8,6 +8,7 @@
 // i.e. cached fbufs buy up to a 45% CPU reduction or up to 2x throughput.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/net/testbed.h"
 
 namespace fbufs {
@@ -36,13 +37,20 @@ int Main() {
                         {16 * 1024, false, "saturated"},
                         {32 * 1024, true, "55%"},
                         {32 * 1024, false, "~saturated"}};
+  JsonReport report("cpu_load");
   for (const Case& c : cases) {
     const auto r = Run(c.cached, c.pdu);
     std::printf("%6lluKB %10s %11.0f%% %12s %14.1f\n",
                 static_cast<unsigned long long>(c.pdu / 1024),
                 c.cached ? "cached" : "uncached", r.receiver_cpu_load * 100.0, c.paper,
                 r.throughput_mbps);
+    report.BeginRow()
+        .Field("pdu_kb", static_cast<double>(c.pdu / 1024))
+        .Field("fbufs", c.cached ? "cached" : "uncached")
+        .Field("rx_cpu_load", r.receiver_cpu_load)
+        .Field("throughput_mbps", r.throughput_mbps);
   }
+  report.Write();
   // The paper's headline ("up to 45% CPU reduction or up to 2x throughput")
   // compares the saturated uncached receiver against the cached one once
   // protocol overheads are halved (32 KB PDUs).

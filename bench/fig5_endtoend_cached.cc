@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/net/testbed.h"
 
 namespace fbufs {
@@ -32,13 +33,21 @@ int Main() {
       "\n=== Figure 5: end-to-end UDP/IP throughput, cached/volatile fbufs (Mbps) ===\n");
   std::printf("%10s %15s %12s %22s\n", "size(KB)", "kernel-kernel", "user-user",
               "user-netserver-user");
+  JsonReport report("fig5_endtoend_cached");
   const std::vector<std::uint64_t> kb = {4, 8, 16, 32, 64, 128, 256, 512, 1024};
   for (const std::uint64_t s : kb) {
+    const double kk = Run(StackPlacement::kKernelOnly, s * 1024);
+    const double uu = Run(StackPlacement::kUserKernel, s * 1024);
+    const double unu = Run(StackPlacement::kUserNetserverKernel, s * 1024);
     std::printf("%10llu %15.1f %12.1f %22.1f\n", static_cast<unsigned long long>(s),
-                Run(StackPlacement::kKernelOnly, s * 1024),
-                Run(StackPlacement::kUserKernel, s * 1024),
-                Run(StackPlacement::kUserNetserverKernel, s * 1024));
+                kk, uu, unu);
+    report.BeginRow()
+        .Field("size_kb", static_cast<double>(s))
+        .Field("kernel_kernel_mbps", kk)
+        .Field("user_user_mbps", uu)
+        .Field("user_netserver_user_mbps", unu);
   }
+  report.Write();
   std::printf(
       "\nshape checks: ceiling ~285 Mbps (paper: 285, I/O bound); crossings negligible at\n"
       ">= 256 KB; medium sizes penalized per crossing, third domain worst (cache/TLB).\n");

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/net/testbed.h"
 
 namespace fbufs {
@@ -33,13 +34,21 @@ int Main() {
       "===\n");
   std::printf("%10s %15s %12s %22s\n", "size(KB)", "kernel-kernel", "user-user",
               "user-netserver-user");
+  JsonReport report("fig6_endtoend_uncached");
   const std::vector<std::uint64_t> kb = {4, 8, 16, 32, 64, 128, 256, 512, 1024};
   for (const std::uint64_t s : kb) {
+    const double kk = Run(StackPlacement::kKernelOnly, s * 1024, /*kernel_baseline=*/true);
+    const double uu = Run(StackPlacement::kUserKernel, s * 1024, false);
+    const double unu = Run(StackPlacement::kUserNetserverKernel, s * 1024, false);
     std::printf("%10llu %15.1f %12.1f %22.1f\n", static_cast<unsigned long long>(s),
-                Run(StackPlacement::kKernelOnly, s * 1024, /*kernel_baseline=*/true),
-                Run(StackPlacement::kUserKernel, s * 1024, false),
-                Run(StackPlacement::kUserNetserverKernel, s * 1024, false));
+                kk, uu, unu);
+    report.BeginRow()
+        .Field("size_kb", static_cast<double>(s))
+        .Field("kernel_kernel_mbps", kk)
+        .Field("user_user_mbps", uu)
+        .Field("user_netserver_user_mbps", unu);
   }
+  report.Write();
   std::printf(
       "\nshape checks: user-user ~12%% below the kernel-kernel baseline (paper: 252 vs 285\n"
       "Mbps); user-netserver-user only marginally lower (body pages never mapped there).\n");

@@ -323,9 +323,24 @@ Status FbufSystem::Free(Fbuf* fb, Domain& d) {
   auto& pending = pending_notices_[{d.id(), fb->originator}];
   pending.push_back(fb->id);
   if (pending.size() >= config_.notice_threshold) {
-    FlushNotices(d.id(), fb->originator);
+    ScheduleFlush(d.id(), fb->originator);
   }
   return Status::kOk;
+}
+
+void FbufSystem::ScheduleFlush(DomainId holder, DomainId owner) {
+  if (loop_ == nullptr) {
+    FlushNotices(holder, owner);
+    return;
+  }
+  if (!flush_scheduled_.insert({holder, owner}).second) {
+    return;  // a flush event for this pair is already in flight
+  }
+  const SimTime key = std::max(loop_->Now(), machine_->clock().Now());
+  loop_->Schedule(key, "fbuf-dealloc-flush", [this, holder, owner] {
+    flush_scheduled_.erase({holder, owner});
+    FlushNotices(holder, owner);
+  });
 }
 
 void FbufSystem::FlushNotices(DomainId holder, DomainId owner) {

@@ -25,12 +25,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/fbuf/fbuf.h"
 #include "src/fbuf/path.h"
 #include "src/ipc/rpc.h"
+#include "src/sim/event_loop.h"
 #include "src/vm/address_space.h"
 #include "src/vm/machine.h"
 #include "src/vm/types.h"
@@ -68,6 +70,13 @@ class FbufSystem {
 
   // Routes deallocation notices over |rpc| (piggybacked on every crossing).
   void AttachRpc(Rpc* rpc);
+
+  // Defers threshold-triggered explicit deallocation messages to |loop|:
+  // instead of flushing synchronously inside Free, a flush event is
+  // scheduled (one per (holder, owner) pair at a time). Notices that
+  // piggyback on RPC traffic in the meantime make the event a no-op.
+  // Without a loop attached the flush stays synchronous.
+  void AttachEventLoop(EventLoop* loop) { loop_ = loop; }
 
   // --- Allocation ------------------------------------------------------------
   // Allocates an fbuf of |bytes| in |originator|. With a live |path| whose
@@ -179,6 +188,8 @@ class FbufSystem {
   void DestroyFbuf(Fbuf* fb);
   void ReleaseAllocatorIfDrained(Allocator& a);
   void DeliverNotices(DomainId from, DomainId to);
+  // Flushes now, or schedules a flush event when a loop is attached.
+  void ScheduleFlush(DomainId holder, DomainId owner);
   // The VM fault hook for the fbuf region.
   Status RegionFault(Domain& d, Vpn vpn, Access access);
   // Brings a paged-out (or never-materialized) fbuf page back for |d|.
@@ -189,6 +200,9 @@ class FbufSystem {
   FbufConfig config_;
   PathRegistry paths_;
   Rpc* rpc_ = nullptr;
+  EventLoop* loop_ = nullptr;
+  // (holder, owner) pairs with a flush event already in flight.
+  std::set<std::pair<DomainId, DomainId>> flush_scheduled_;
   AddressSpace region_va_{AddressSpace::Empty{}};
   std::map<std::uint64_t, Allocator> allocators_;
   std::vector<std::unique_ptr<Fbuf>> fbufs_;

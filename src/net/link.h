@@ -1,44 +1,47 @@
 // Null-modem ATM link between two Osiris boards (the paper's testbed):
 // 622 Mbps raw, 516 Mbps net of cell overhead. The wire is a serial
-// resource; transmission of a PDU occupies it for WireTime(bytes).
+// Resource in the event engine's sense; transmission of a PDU occupies it
+// for WireTime(bytes), and utilization falls out of the resource accounting.
 #ifndef SRC_NET_LINK_H_
 #define SRC_NET_LINK_H_
 
-#include <algorithm>
 #include <cstdint>
 
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
+#include "src/sim/event_loop.h"
 
 namespace fbufs {
 
 class NullModemLink {
  public:
-  explicit NullModemLink(const CostParams* costs) : costs_(costs) {}
+  explicit NullModemLink(const CostParams* costs)
+      : costs_(costs), wire_("wire") {}
 
   // A PDU whose last byte left the sender's adapter at |ready| finishes
   // crossing the wire at the returned time.
   SimTime Transmit(std::uint64_t bytes, SimTime ready) {
-    const SimTime start = std::max(ready, busy_until_);
-    busy_until_ = start + costs_->WireTime(bytes);
     bytes_carried_ += bytes;
     pdus_carried_++;
-    return busy_until_;
+    return wire_.Acquire(ready, costs_->WireTime(bytes));
   }
 
-  SimTime busy_until() const { return busy_until_; }
+  SimTime busy_until() const { return wire_.busy_until(); }
   std::uint64_t bytes_carried() const { return bytes_carried_; }
   std::uint64_t pdus_carried() const { return pdus_carried_; }
 
+  Resource& wire() { return wire_; }
+  const Resource& wire() const { return wire_; }
+
   void Reset() {
-    busy_until_ = 0;
+    wire_.Reset();
     bytes_carried_ = 0;
     pdus_carried_ = 0;
   }
 
  private:
   const CostParams* costs_;
-  SimTime busy_until_ = 0;
+  Resource wire_;
   std::uint64_t bytes_carried_ = 0;
   std::uint64_t pdus_carried_ = 0;
 };

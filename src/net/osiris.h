@@ -19,6 +19,7 @@
 #include "src/fbuf/fbuf.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
+#include "src/sim/event_loop.h"
 
 namespace fbufs {
 
@@ -26,24 +27,27 @@ class OsirisAdapter {
  public:
   static constexpr std::size_t kMaxCachedVcis = 16;
 
-  explicit OsirisAdapter(const CostParams* costs) : costs_(costs) {}
+  explicit OsirisAdapter(const CostParams* costs)
+      : costs_(costs), tx_dma_("tx-dma"), rx_dma_("rx-dma") {}
 
   // --- DMA timing ------------------------------------------------------------
+  // Each direction's DMA engine is a serial Resource; it runs concurrently
+  // with the host CPU (DMA time never lands on the machine clock).
+  //
   // A transmit PDU handed to the adapter at |ready| has fully crossed the
   // bus at the returned time.
   SimTime TxDma(std::uint64_t bytes, SimTime ready) {
-    const SimTime start = ready > tx_busy_until_ ? ready : tx_busy_until_;
-    tx_busy_until_ = start + costs_->DmaTime(bytes);
-    return tx_busy_until_;
+    return tx_dma_.Acquire(ready, costs_->DmaTime(bytes));
   }
 
   // A receive PDU whose cells arrived by |ready| is fully reassembled in
   // main memory at the returned time.
   SimTime RxDma(std::uint64_t bytes, SimTime ready) {
-    const SimTime start = ready > rx_busy_until_ ? ready : rx_busy_until_;
-    rx_busy_until_ = start + costs_->DmaTime(bytes);
-    return rx_busy_until_;
+    return rx_dma_.Acquire(ready, costs_->DmaTime(bytes));
   }
+
+  Resource& tx_dma() { return tx_dma_; }
+  Resource& rx_dma() { return rx_dma_; }
 
   // --- VCI demultiplexing -----------------------------------------------------
   // The driver registers the I/O data path for a virtual circuit; the
@@ -86,8 +90,8 @@ class OsirisAdapter {
   }
 
   const CostParams* costs_;
-  SimTime tx_busy_until_ = 0;
-  SimTime rx_busy_until_ = 0;
+  Resource tx_dma_;
+  Resource rx_dma_;
   std::list<std::pair<std::uint32_t, PathId>> mru_;
   std::uint64_t cached_hits_ = 0;
   std::uint64_t uncached_fallbacks_ = 0;

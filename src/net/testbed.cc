@@ -1,5 +1,6 @@
 #include "src/net/testbed.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace fbufs {
@@ -26,10 +27,22 @@ std::uint32_t DomainCount(StackPlacement p) {
   return 1;
 }
 
+MachineConfig Named(MachineConfig cfg, const std::string& name) {
+  cfg.name = name;
+  return cfg;
+}
+
 }  // namespace
 
-Testbed::Host::Host(const TestbedConfig& config, bool is_sender)
-    : machine(config.machine), fsys(&machine), rpc(&machine), adapter(&machine.costs()) {
+Testbed::Host::Host(const TestbedConfig& config, bool is_sender,
+                    std::uint32_t host_vci, std::uint16_t port,
+                    const std::string& name)
+    : machine(Named(config.machine, name)),
+      fsys(&machine),
+      rpc(&machine),
+      adapter(&machine.costs()),
+      cpu("cpu/" + name),
+      vci(host_vci) {
   fsys.AttachRpc(&rpc);
 
   Domain* kernel = &machine.kernel();
@@ -80,121 +93,393 @@ Testbed::Host::Host(const TestbedConfig& config, bool is_sender)
 
   udp = std::make_unique<UdpProtocol>(udp_dom, stack.get(), udp_hdr_path);
   ip = std::make_unique<IpProtocol>(kernel, stack.get(), ip_hdr_path, config.pdu_size);
-  driver = std::make_unique<DriverProtocol>(kernel, stack.get(), &adapter, kVci);
+  driver = std::make_unique<DriverProtocol>(kernel, stack.get(), &adapter, host_vci);
 
   if (is_sender) {
     source = std::make_unique<SourceProtocol>(app, stack.get(), data_path,
                                               config.volatile_fbufs);
     source->set_below(udp.get());
     udp->set_below(ip.get());
-    udp->SetDefaultPorts(1000, 2000);
+    udp->SetDefaultPorts(1000, port);
     ip->set_below(driver.get());
   } else {
     sink = std::make_unique<SinkProtocol>(app, stack.get());
     driver->set_above(ip.get());
     ip->set_above(udp.get());
-    udp->Bind(2000, sink.get());
+    udp->Bind(port, sink.get());
     if (config.cached) {
       // The adapter demuxes this VCI into pre-allocated per-path buffers;
       // without registration every PDU falls back to the uncached queue.
-      adapter.RegisterVci(kVci, data_path);
+      adapter.RegisterVci(host_vci, data_path);
     }
   }
 }
 
 Testbed::Testbed(const TestbedConfig& config)
     : config_(config),
-      sender_(std::make_unique<Host>(config, /*is_sender=*/true)),
-      receiver_(std::make_unique<Host>(config, /*is_sender=*/false)),
-      link_(&sender_->machine.costs()) {
-  sender_->driver->set_on_transmit(
-      [this](std::vector<std::uint8_t> payload, std::uint32_t vci) {
+      receiver_(std::make_unique<Host>(config, /*is_sender=*/false, kVci,
+                                       /*port=*/2000, "receiver")),
+      link_(&receiver_->machine.costs()) {
+  senders_.push_back(std::make_unique<Host>(config, /*is_sender=*/true, kVci,
+                                            /*port=*/2000, "sender0"));
+  WireSender(senders_[0].get());
+
+  Flow flow0;
+  flow0.vci = kVci;
+  flow0.port = 2000;
+  flow0.sender = 0;
+  flow0.sink = receiver_->sink.get();
+  flows_.push_back(std::move(flow0));
+}
+
+void Testbed::WireSender(Host* host) {
+  host->driver->set_on_transmit(
+      [host](std::vector<std::uint8_t> payload, std::uint32_t vci) {
         (void)vci;
-        staged_.push_back(StagedPdu{std::move(payload), sender_->machine.clock().Now()});
+        host->staged.push_back(
+            Host::StagedPdu{std::move(payload), host->machine.clock().Now()});
       });
+}
+
+std::size_t Testbed::AddFlow(std::uint32_t vci, std::uint16_t port) {
+  const std::size_t index = flows_.size();
+  senders_.push_back(std::make_unique<Host>(
+      config_, /*is_sender=*/true, vci, port, "sender" + std::to_string(index)));
+  WireSender(senders_.back().get());
+
+  Flow flow;
+  flow.vci = vci;
+  flow.port = port;
+  flow.sender = index;
+
+  // Receiver-side endpoint: a sink of its own (in a fresh application domain
+  // unless everything runs in the kernel), demuxed by UDP port; the adapter
+  // demuxes the VCI into the flow's own cached data path.
+  Host& rx = *receiver_;
+  Domain* kernel = &rx.machine.kernel();
+  Domain* app = config_.placement == StackPlacement::kKernelOnly
+                    ? kernel
+                    : rx.machine.CreateDomain("app-flow" + std::to_string(index));
+  flow.owned_sink = std::make_unique<SinkProtocol>(app, rx.stack.get());
+  flow.sink = flow.owned_sink.get();
+  rx.udp->Bind(port, flow.sink);
+  if (config_.cached) {
+    std::vector<DomainId> data_hops;
+    AppendHop(&data_hops, kernel->id());
+    AppendHop(&data_hops, rx.udp->domain()->id());
+    AppendHop(&data_hops, app->id());
+    const PathId data_path = rx.fsys.paths().Register(data_hops);
+    rx.adapter.RegisterVci(vci, data_path);
+  }
+
+  flows_.push_back(std::move(flow));
+  return index;
+}
+
+SimTime Testbed::Key(SimTime t) const {
+  // Event keys order dispatch; handlers derive simulated times from host
+  // clocks and resource busy-untils. A computed time can lie behind the
+  // loop's dispatch floor (host timelines are only partially ordered), so
+  // clamp the key — never the value.
+  return std::max(t, loop_.Now());
+}
+
+void Testbed::ScheduleSenderStep(std::size_t flow) {
+  FlowRun& run = runs_[flow];
+  if (step_pending_[flow] || run.failed || run.next >= run.total) {
+    return;
+  }
+  step_pending_[flow] = true;
+  Host& tx = *senders_[flows_[flow].sender];
+  loop_.Schedule(Key(tx.machine.clock().Now()),
+                 "send/" + std::to_string(flow) + "/" + std::to_string(run.next),
+                 [this, flow] {
+                   step_pending_[flow] = false;
+                   SenderStep(flow);
+                 });
+}
+
+void Testbed::SenderStep(std::size_t flow) {
+  FlowRun& run = runs_[flow];
+  if (run.failed || run.next >= run.total) {
+    return;
+  }
+  Host& tx = *senders_[flows_[flow].sender];
+  SimClock& tx_clock = tx.machine.clock();
+  const std::uint64_t m = run.next;
+
+  // Sliding-window flow control: do not run more than |window| messages
+  // ahead of the receiver's acknowledgements. If the ack is still in
+  // flight, stay quiescent; its arrival reschedules this step.
+  if (config_.window > 0 && m >= config_.window && !run.acked[m - config_.window]) {
+    return;
+  }
+
+  if (m == run.traffic.warmup) {
+    // Measurement starts here: pipeline full, fbuf caches warm.
+    run.t0_tx = tx_clock.Now();
+    run.tx_busy = 0;
+  }
+  if (config_.window > 0 && m >= config_.window) {
+    tx_clock.AdvanceToAtLeast(run.ack_time[m - config_.window]);
+  }
+
+  const SimTime tx_before = tx_clock.Now();
+  const Status st = tx.source->SendOne(run.traffic.bytes);
+  if (!Ok(st)) {
+    run.failed = true;
+    return;
+  }
+  const SimTime tx_after = tx_clock.Now();
+  tx.cpu.RecordBusy(tx_before, tx_after);
+  run.tx_busy += tx_after - tx_before;
+  run.tx_end = tx_after;
+  run.next++;
+
+  // The send staged PDUs with the adapter (plus anything staged by hand
+  // before the run, drained FIFO and attributed to this message). Pipe each
+  // through TX DMA -> wire -> RX DMA and schedule its delivery.
+  run.pdus_left[m] = tx.staged.size();
+  if (tx.staged.empty()) {
+    // Nothing crossed the wire (degenerate send): acknowledge immediately
+    // so the window never deadlocks.
+    run.completed++;
+    if (m + 1 == run.traffic.warmup) {
+      run.t0_rx = receiver_->machine.clock().Now();
+      run.rx_busy = 0;
+    }
+    run.ack_time[m] = tx_clock.Now();
+    run.acked[m] = true;
+  } else {
+    while (!tx.staged.empty()) {
+      Host::StagedPdu pdu = std::move(tx.staged.front());
+      tx.staged.pop_front();
+      SchedulePduPipeline(flow, m, std::move(pdu));
+      if (run.failed) {
+        return;
+      }
+    }
+  }
+  ScheduleSenderStep(flow);
+}
+
+void Testbed::SchedulePduPipeline(std::size_t flow, std::uint64_t msg,
+                                  Host::StagedPdu pdu) {
+  FlowRun& run = runs_[flow];
+  Flow& f = flows_[flow];
+  Host& tx = *senders_[f.sender];
+
+  // The PDU really crosses as ATM cells: segment with the AAL5 trailer,
+  // reassemble (length + CRC verified) on the receiving board. The three
+  // serial resources are acquired in pipeline order; each acquisition
+  // advances that resource's busy-until, never a host clock.
+  const std::vector<AtmCell> cells = AtmSegmenter::Segment(pdu.payload, f.vci);
+  const std::uint64_t wire_bytes = cells.size() * AtmCell::kPayloadBytes;
+  const SimTime tx_dma_done = tx.adapter.TxDma(wire_bytes, pdu.ready);
+  const SimTime arrived = link_.Transmit(wire_bytes, tx_dma_done);
+  const SimTime rx_dma_done = receiver_->adapter.RxDma(wire_bytes, arrived);
+
+  std::vector<std::uint8_t> reassembled;
+  Status cell_st = Status::kExhausted;
+  for (const AtmCell& cell : cells) {
+    cell_st = f.reassembler.Push(cell, &reassembled);
+  }
+  if (!Ok(cell_st)) {
+    run.failed = true;  // CRC failure cannot happen on this link
+    return;
+  }
+
+  loop_.Schedule(
+      Key(rx_dma_done),
+      "deliver/" + std::to_string(flow) + "/" + std::to_string(msg),
+      [this, flow, msg, payload = std::move(reassembled), rx_dma_done]() mutable {
+        DeliverEvent(flow, msg, std::move(payload), rx_dma_done);
+      });
+}
+
+void Testbed::DeliverEvent(std::size_t flow, std::uint64_t msg,
+                           std::vector<std::uint8_t> payload,
+                           SimTime rx_dma_done) {
+  FlowRun& run = runs_[flow];
+  if (run.failed) {
+    return;
+  }
+  Host& rx = *receiver_;
+  SimClock& rx_clock = rx.machine.clock();
+  // The receiving CPU picks the PDU up no earlier than its DMA completion;
+  // it may already be past that point serving another delivery.
+  rx_clock.AdvanceToAtLeast(rx_dma_done);
+
+  const SimTime rx_before = rx_clock.Now();
+  const Status st =
+      rx.driver->DeliverPdu(payload, flows_[flow].vci, config_.volatile_fbufs);
+  if (!Ok(st)) {
+    run.failed = true;
+    return;
+  }
+  const SimTime rx_after = rx_clock.Now();
+  rx.cpu.RecordBusy(rx_before, rx_after);
+  run.rx_busy += rx_after - rx_before;
+  run.rx_end = rx_after;
+
+  assert(run.pdus_left[msg] > 0);
+  if (--run.pdus_left[msg] == 0) {
+    CompleteMessage(flow, msg);
+  }
+}
+
+void Testbed::CompleteMessage(std::size_t flow, std::uint64_t msg) {
+  FlowRun& run = runs_[flow];
+  Host& rx = *receiver_;
+  if (msg + 1 == run.traffic.warmup) {
+    // The last warmup message is fully delivered: the receiver's
+    // measurement window starts now.
+    run.t0_rx = rx.machine.clock().Now();
+    run.rx_busy = 0;
+  }
+  // The acknowledgement rides back over the (otherwise idle) reverse
+  // channel: one cell's worth of latency.
+  const SimTime ack_t = rx.machine.clock().Now() + rx.machine.costs().WireTime(48);
+  run.completed++;
+  loop_.Schedule(Key(ack_t),
+                 "ack/" + std::to_string(flow) + "/" + std::to_string(msg),
+                 [this, flow, msg, ack_t] {
+                   FlowRun& r = runs_[flow];
+                   r.ack_time[msg] = ack_t;
+                   r.acked[msg] = true;
+                   ScheduleSenderStep(flow);
+                 });
+}
+
+Testbed::MultiResult Testbed::RunFlows(const std::vector<FlowTraffic>& traffic) {
+  MultiResult mr;
+  mr.flows.resize(flows_.size());
+
+  runs_.assign(flows_.size(), FlowRun{});
+  step_pending_.assign(flows_.size(), false);
+
+  // Restart resource accounting: utilization is reported over this run
+  // (warmup included), not the testbed's lifetime.
+  SimTime run_start = receiver_->machine.clock().Now();
+  receiver_->cpu.ResetAccounting(run_start);
+  receiver_->adapter.rx_dma().ResetAccounting(receiver_->adapter.rx_dma().busy_until());
+  link_.wire().ResetAccounting(link_.wire().busy_until());
+
+  bool any = false;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    FlowRun& run = runs_[i];
+    if (i < traffic.size()) {
+      run.traffic = traffic[i];
+    }
+    run.total = run.traffic.warmup + run.traffic.messages;
+    Host& tx = *senders_[flows_[i].sender];
+    tx.cpu.ResetAccounting(tx.machine.clock().Now());
+    tx.adapter.tx_dma().ResetAccounting(tx.adapter.tx_dma().busy_until());
+    run.t0_tx = tx.machine.clock().Now();
+    run.t0_rx = receiver_->machine.clock().Now();
+    run.tx_end = run.t0_tx;
+    run.rx_end = run.t0_rx;
+    if (run.total == 0) {
+      continue;
+    }
+    run.ack_time.assign(run.total, 0);
+    run.acked.assign(run.total, false);
+    run.pdus_left.assign(run.total, 0);
+    run_start = std::min(run_start, run.t0_tx);
+    any = true;
+    ScheduleSenderStep(i);
+  }
+
+  if (any) {
+    loop_.Run();
+  }
+
+  SimTime global_end = run_start;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    FlowRun& run = runs_[i];
+    FlowResult& fr = mr.flows[i];
+    fr.messages = run.traffic.messages;
+    fr.bytes = run.traffic.messages * run.traffic.bytes;
+    fr.failed = run.failed;
+    mr.failed = mr.failed || run.failed;
+    if (run.total == 0 || run.failed) {
+      continue;
+    }
+    const SimTime tx_elapsed = run.tx_end - run.t0_tx;
+    const SimTime rx_elapsed = run.rx_end > run.t0_rx ? run.rx_end - run.t0_rx : 0;
+    const SimTime wire_tail =
+        link_.busy_until() > run.t0_tx ? link_.busy_until() - run.t0_tx : 0;
+    fr.elapsed_ns = std::max({tx_elapsed, rx_elapsed, wire_tail});
+    if (fr.elapsed_ns > 0) {
+      fr.throughput_mbps = static_cast<double>(fr.bytes) * 8.0 * 1000.0 /
+                           static_cast<double>(fr.elapsed_ns);
+      fr.sender_cpu_load = static_cast<double>(run.tx_busy) /
+                           static_cast<double>(fr.elapsed_ns);
+    }
+    global_end = std::max({global_end, run.tx_end, run.rx_end});
+    mr.elapsed_ns = std::max(mr.elapsed_ns, fr.elapsed_ns);
+  }
+  global_end = std::max(global_end, link_.busy_until());
+
+  std::uint64_t total_bytes = 0;
+  SimTime total_rx_busy = 0;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    total_bytes += mr.flows[i].bytes;
+    total_rx_busy += runs_[i].rx_busy;
+  }
+  // Legacy single-flow semantics: the receiver's load over the same window
+  // the flow's throughput was computed over. With several flows the window
+  // is the longest flow's.
+  if (mr.elapsed_ns > 0) {
+    mr.receiver_cpu_load = static_cast<double>(total_rx_busy) /
+                           static_cast<double>(mr.elapsed_ns);
+  }
+  const SimTime window = global_end > run_start ? global_end - run_start : 0;
+  if (window > 0) {
+    mr.aggregate_mbps = static_cast<double>(total_bytes) * 8.0 * 1000.0 /
+                        static_cast<double>(window);
+  }
+
+  auto report = [&](const Resource& r) {
+    ResourceUse use;
+    use.name = r.name();
+    use.busy_ns = r.busy_ns();
+    if (window > 0) {
+      use.utilization =
+          static_cast<double>(r.busy_ns()) / static_cast<double>(window);
+    }
+    mr.resources.push_back(std::move(use));
+  };
+  for (const auto& tx : senders_) {
+    report(tx->cpu);
+    report(tx->adapter.tx_dma());
+  }
+  report(link_.wire());
+  report(receiver_->adapter.rx_dma());
+  report(receiver_->cpu);
+  return mr;
 }
 
 Testbed::Result Testbed::Run(std::uint64_t messages, std::uint64_t bytes,
                              std::uint64_t warmup) {
+  std::vector<FlowTraffic> traffic(1);
+  traffic[0].messages = messages;
+  traffic[0].bytes = bytes;
+  traffic[0].warmup = warmup;
+  const MultiResult mr = RunFlows(traffic);
+
   Result result;
   result.messages = messages;
   result.bytes = messages * bytes;
-
-  SimClock& tx_clock = sender_->machine.clock();
-  SimClock& rx_clock = receiver_->machine.clock();
-  const std::uint64_t total = warmup + messages;
-  SimTime tx_busy = 0;
-  SimTime rx_busy = 0;
-  std::vector<SimTime> ack_time(total, 0);
-  SimTime t0_tx = tx_clock.Now();
-  SimTime t0_rx = rx_clock.Now();
-
-  for (std::uint64_t m = 0; m < total; ++m) {
-    if (m == warmup) {
-      t0_tx = tx_clock.Now();
-      t0_rx = rx_clock.Now();
-      tx_busy = 0;
-      rx_busy = 0;
-    }
-    // Sliding-window flow control: do not run more than |window| messages
-    // ahead of the receiver's acknowledgements.
-    if (config_.window > 0 && m >= config_.window) {
-      tx_clock.AdvanceTo(ack_time[m - config_.window]);
-    }
-
-    const SimTime tx_before = tx_clock.Now();
-    const Status st = sender_->source->SendOne(bytes);
-    if (!Ok(st)) {
-      result.throughput_mbps = -1;
-      return result;
-    }
-    tx_busy += tx_clock.Now() - tx_before;
-
-    // Drain this message's PDUs through adapter DMA -> wire -> adapter DMA
-    // -> receiver stack.
-    while (!staged_.empty()) {
-      StagedPdu pdu = std::move(staged_.front());
-      staged_.pop_front();
-      // The PDU really crosses as ATM cells: segment with the AAL5 trailer,
-      // reassemble (length + CRC verified) on the receiving board.
-      const std::vector<AtmCell> cells = AtmSegmenter::Segment(pdu.payload, kVci);
-      const std::uint64_t wire_bytes = cells.size() * AtmCell::kPayloadBytes;
-      const SimTime tx_dma_done = sender_->adapter.TxDma(wire_bytes, pdu.ready);
-      const SimTime arrived = link_.Transmit(wire_bytes, tx_dma_done);
-      const SimTime rx_dma_done = receiver_->adapter.RxDma(wire_bytes, arrived);
-      std::vector<std::uint8_t> reassembled;
-      Status cell_st = Status::kExhausted;
-      for (const AtmCell& cell : cells) {
-        cell_st = reassembler_.Push(cell, &reassembled);
-      }
-      if (!Ok(cell_st)) {
-        result.throughput_mbps = -1;  // CRC failure cannot happen on this link
-        return result;
-      }
-      rx_clock.AdvanceTo(rx_dma_done);
-      const SimTime rx_before = rx_clock.Now();
-      const Status rst =
-          receiver_->driver->DeliverPdu(reassembled, kVci, config_.volatile_fbufs);
-      if (!Ok(rst)) {
-        result.throughput_mbps = -1;
-        return result;
-      }
-      rx_busy += rx_clock.Now() - rx_before;
-    }
-    // The acknowledgement rides back over the (otherwise idle) reverse
-    // channel: one cell's worth of latency.
-    ack_time[m] = rx_clock.Now() + sender_->machine.costs().WireTime(48);
+  const FlowResult& fr = mr.flows[0];
+  if (fr.failed) {
+    result.throughput_mbps = -1;
+    return result;
   }
-
-  const SimTime tx_elapsed = tx_clock.Now() - t0_tx;
-  const SimTime rx_elapsed = rx_clock.Now() - t0_rx;
-  result.elapsed_ns = std::max(
-      {tx_elapsed, rx_elapsed, link_.busy_until() - t0_tx});
-  result.throughput_mbps =
-      static_cast<double>(result.bytes) * 8.0 * 1000.0 / static_cast<double>(result.elapsed_ns);
-  result.sender_cpu_load = static_cast<double>(tx_busy) / static_cast<double>(result.elapsed_ns);
-  result.receiver_cpu_load =
-      static_cast<double>(rx_busy) / static_cast<double>(result.elapsed_ns);
+  result.elapsed_ns = fr.elapsed_ns;
+  result.throughput_mbps = fr.throughput_mbps;
+  result.sender_cpu_load = fr.sender_cpu_load;
+  result.receiver_cpu_load = mr.receiver_cpu_load;
   return result;
 }
 

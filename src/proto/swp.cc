@@ -1,5 +1,7 @@
 #include "src/proto/swp.h"
 
+#include <algorithm>
+
 namespace fbufs {
 
 Status SwpProtocol::TransmitData(std::uint32_t seq, const Message& m) {
@@ -58,7 +60,34 @@ Status SwpProtocol::Push(Message m) {
   }
   const std::uint32_t seq = next_seq_++;
   outstanding_[seq] = m;
-  return TransmitData(seq, m);
+  st = TransmitData(seq, m);
+  if (Ok(st)) {
+    ArmTimer();
+  }
+  return st;
+}
+
+void SwpProtocol::ArmTimer() {
+  if (loop_ == nullptr || timer_pending_ || outstanding_.empty()) {
+    return;
+  }
+  timer_pending_ = true;
+  // The timeout matures RTO nanoseconds of *sender* time from now; the
+  // loop's dispatch floor may already be past that (host timelines are only
+  // partially ordered), so clamp the event key, never the deadline.
+  const SimTime deadline = stack_->machine()->clock().Now() + rto_;
+  const SimTime key = std::max(deadline, loop_->Now());
+  loop_->Schedule(key, "swp-rto", [this, deadline] {
+    timer_pending_ = false;
+    if (outstanding_.empty()) {
+      return;  // everything acknowledged while the timeout was in flight
+    }
+    timer_fires_++;
+    // The interrupt fires once the sender's own clock reaches the deadline.
+    stack_->machine()->clock().AdvanceToAtLeast(deadline);
+    Tick();
+    ArmTimer();
+  });
 }
 
 Status SwpProtocol::Tick() {

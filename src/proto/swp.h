@@ -9,8 +9,11 @@
 // same way.
 //
 // Frames carry a small header (type, sequence, length); acknowledgements
-// are cumulative. Retransmission is driven by explicit Tick() calls (the
-// simulator's notion of a timer interrupt).
+// are cumulative. Retransmission is driven either by explicit Tick() calls
+// (a hand-cranked timer interrupt) or — when an EventLoop is attached via
+// AttachTimer — by a real scheduled retransmission timeout: each transmit
+// arms a one-shot event RTO nanoseconds out, and the handler retransmits
+// whatever is still outstanding when it fires.
 #ifndef SRC_PROTO_SWP_H_
 #define SRC_PROTO_SWP_H_
 
@@ -18,6 +21,7 @@
 #include <map>
 
 #include "src/proto/protocol.h"
+#include "src/sim/event_loop.h"
 #include "src/sim/rng.h"
 
 namespace fbufs {
@@ -47,6 +51,16 @@ class SwpProtocol : public Protocol {
   // nothing is outstanding.
   Status Tick();
 
+  // Drives retransmission from |loop|: every data transmit arms a one-shot
+  // timeout |rto| nanoseconds of sender time out. When it fires with frames
+  // still outstanding they are retransmitted and the timer re-arms; when
+  // everything has been acknowledged it simply goes quiet (there is no
+  // cancel — a stale timeout is a cheap no-op).
+  void AttachTimer(EventLoop* loop, SimTime rto) {
+    loop_ = loop;
+    rto_ = rto;
+  }
+
   // --- Receiver side -----------------------------------------------------------
   // Handles an arriving frame: data frames are acknowledged (cumulative)
   // and delivered upward in order; ack frames release retained references.
@@ -59,15 +73,22 @@ class SwpProtocol : public Protocol {
   std::uint64_t acks_sent() const { return acks_sent_; }
   std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
   std::uint64_t delivered_in_order() const { return delivered_in_order_; }
+  std::uint64_t timer_fires() const { return timer_fires_; }
   std::uint32_t next_seq() const { return next_seq_; }
 
  private:
   Status TransmitData(std::uint32_t seq, const Message& m);
   Status TransmitAck();
   Status DeliverReady();
+  void ArmTimer();
 
   PathId hdr_path_;
   std::uint32_t window_;
+
+  // Evented retransmission (AttachTimer); null loop means Tick()-driven.
+  EventLoop* loop_ = nullptr;
+  SimTime rto_ = 0;
+  bool timer_pending_ = false;
 
   // Sender state: retained frames awaiting acknowledgement.
   std::uint32_t next_seq_ = 0;
@@ -82,6 +103,7 @@ class SwpProtocol : public Protocol {
   std::uint64_t acks_sent_ = 0;
   std::uint64_t duplicates_dropped_ = 0;
   std::uint64_t delivered_in_order_ = 0;
+  std::uint64_t timer_fires_ = 0;
 };
 
 // A deliberately unreliable hop for failure injection: drops a configurable
@@ -95,6 +117,9 @@ class LossyChannel : public Protocol {
 
   // The protocol whose Pop receives what the *other* side pushes.
   void set_peer_above(Protocol* p) { peer_above_ = p; }
+
+  // Reconfigures the loss rate mid-experiment (fault-injection campaigns).
+  void set_drop_percent(std::uint32_t p) { drop_percent_ = p; }
 
   Status Push(Message m) override {
     if (rng_.Chance(drop_percent_, 100)) {

@@ -6,6 +6,7 @@
 #ifndef SRC_SIM_CLOCK_H_
 #define SRC_SIM_CLOCK_H_
 
+#include <cassert>
 #include <cstdint>
 
 namespace fbufs {
@@ -29,9 +30,22 @@ class SimClock {
   // Advances the clock by |ns| nanoseconds of simulated work.
   void Advance(SimTime ns) { now_ns_ += ns; }
 
-  // Moves the clock forward to |t| if |t| is in the future; used when a host
-  // blocks on an external event (e.g. the link delivering the next cell).
+  // Moves the clock forward to the delivery time |t| of a scheduled event.
+  // In the event-loop world a backwards delivery time is a scheduling bug,
+  // not a benign no-op: it means some layer computed an event time behind
+  // work this host already performed. Assert so it surfaces in debug and
+  // sanitizer builds instead of silently warping results.
   void AdvanceTo(SimTime t) {
+    assert(t >= now_ns_ && "SimClock::AdvanceTo: backwards delivery time (scheduling bug)");
+    if (t > now_ns_) {
+      now_ns_ = t;
+    }
+  }
+
+  // Waits until at least |t|: a no-op when the host is already past it.
+  // This is the right call when blocking on a condition that may have been
+  // satisfied in the past (e.g. an acknowledgement that already arrived).
+  void AdvanceToAtLeast(SimTime t) {
     if (t > now_ns_) {
       now_ns_ = t;
     }

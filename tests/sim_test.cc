@@ -20,14 +20,29 @@ TEST(SimClock, StartsAtZeroAndAdvances) {
   EXPECT_EQ(clock.Now(), 15u);
 }
 
-TEST(SimClock, AdvanceToOnlyMovesForward) {
+TEST(SimClock, AdvanceToMovesForward) {
   SimClock clock;
   clock.Advance(100);
-  clock.AdvanceTo(50);
-  EXPECT_EQ(clock.Now(), 100u);
   clock.AdvanceTo(250);
   EXPECT_EQ(clock.Now(), 250u);
 }
+
+TEST(SimClock, AdvanceToAtLeastIsANoOpWhenAlreadyPast) {
+  SimClock clock;
+  clock.Advance(100);
+  clock.AdvanceToAtLeast(50);
+  EXPECT_EQ(clock.Now(), 100u);
+  clock.AdvanceToAtLeast(250);
+  EXPECT_EQ(clock.Now(), 250u);
+}
+
+#if !defined(NDEBUG) && GTEST_HAS_DEATH_TEST
+TEST(SimClockDeathTest, AdvanceToBackwardsAsserts) {
+  SimClock clock;
+  clock.Advance(100);
+  EXPECT_DEATH(clock.AdvanceTo(50), "backwards delivery time");
+}
+#endif
 
 TEST(SimClock, ResetReturnsToZero) {
   SimClock clock;
