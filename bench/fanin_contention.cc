@@ -1,0 +1,132 @@
+// Fan-in contention study on the topology fabric: K senders push through
+// one ATM switch output port onto a single trunk into one receiver, sweeping
+// sender count and IP PDU size.
+//
+// Each sender sits on its own 80 Mbps uplink, the switch output port runs
+// at 140 Mbps with a bounded queue, and the trunk to the receiver is the
+// paper's 516 Mbps testbed wire. The interesting output is where the
+// bottleneck sits as load grows: one sender is limited by its own uplink;
+// a few senders saturate the switch port (and its queue starts shedding
+// PDUs); small PDUs shift the limit to the receiving host's per-PDU
+// protocol costs — the same CPU ceiling the paper's §4 measurements chase.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/topo/topo_config.h"
+
+namespace fbufs {
+namespace bench {
+namespace {
+
+struct ClassUse {
+  double uplink = 0;      // max over the senders' wires
+  double switch_port = 0;
+  double trunk = 0;
+  double rx_dma = 0;
+  double rx_cpu = 0;
+};
+
+struct SweepPoint {
+  std::size_t senders = 0;
+  std::uint64_t pdu = 0;
+  double offered_mbps = 0;  // send-side aggregate
+  double goodput_mbps = 0;  // sum of per-flow delivered rates
+  std::uint64_t drops = 0;
+  ClassUse use;
+  std::string bottleneck;
+  double bottleneck_util = 0;
+};
+
+SweepPoint RunPoint(std::size_t senders, std::uint64_t pdu) {
+  TopologyConfig cfg;
+  cfg.shape = TopologyShape::kFanInSwitch;
+  cfg.senders = senders;
+  cfg.host.pdu_size = pdu;
+  cfg.sender_link_mbps = 80.0;
+  cfg.switch_port.mbps = 140.0;
+
+  BuiltTopology b = BuildTopology(cfg);
+  // Single-fragment datagrams (message == one PDU): a shed PDU costs
+  // exactly one datagram, so goodput degrades gracefully instead of every
+  // loss killing a whole multi-fragment reassembly. 2 MB per sender.
+  std::vector<FlowTraffic> traffic(senders);
+  for (FlowTraffic& t : traffic) {
+    t.messages = (2 * 1024 * 1024) / pdu;
+    t.bytes = pdu;
+    t.warmup = 4;
+  }
+  const MultiResult mr = b.runner->RunFlows(traffic);
+
+  SweepPoint p;
+  p.senders = senders;
+  p.pdu = pdu;
+  p.offered_mbps = mr.aggregate_mbps;
+  for (const FlowResult& f : mr.flows) {
+    p.goodput_mbps += f.goodput_mbps;
+  }
+  p.drops = b.topo->switch_at(b.switch_node)->drops_total();
+  for (const ResourceUse& r : mr.resources) {
+    if (r.name.rfind("wire/", 0) == 0) {
+      p.use.uplink = std::max(p.use.uplink, r.utilization);
+    } else if (r.name.rfind("switch/", 0) == 0) {
+      p.use.switch_port = std::max(p.use.switch_port, r.utilization);
+    } else if (r.name == "trunk") {
+      p.use.trunk = r.utilization;
+    } else if (r.name == "rx-dma") {
+      p.use.rx_dma = std::max(p.use.rx_dma, r.utilization);
+    } else if (r.name == "cpu/receiver") {
+      p.use.rx_cpu = r.utilization;
+    }
+    if (r.utilization > p.bottleneck_util) {
+      p.bottleneck_util = r.utilization;
+      p.bottleneck = r.name;
+    }
+  }
+  return p;
+}
+
+int Main() {
+  std::printf("\n=== Fan-in through one switch port "
+              "(80 Mbps uplinks, 140 Mbps port, 516 Mbps trunk) ===\n");
+  std::printf("%8s %8s %9s %9s %7s %8s %8s %8s %8s %8s  %s\n", "senders",
+              "pdu", "offered", "goodput", "drops", "uplink", "port", "trunk",
+              "rx-dma", "rx-cpu", "bottleneck");
+  JsonReport report("fanin_contention");
+  for (std::uint64_t pdu : {2 * 1024, 16 * 1024}) {
+    for (std::size_t senders : {1, 2, 4, 8}) {
+      const SweepPoint p = RunPoint(senders, pdu);
+      std::printf("%8zu %6lluKB %9.1f %9.1f %7llu %7.0f%% %7.0f%% %7.0f%% "
+                  "%7.0f%% %7.0f%%  %s (%.0f%%)\n",
+                  p.senders, static_cast<unsigned long long>(p.pdu / 1024),
+                  p.offered_mbps, p.goodput_mbps,
+                  static_cast<unsigned long long>(p.drops),
+                  p.use.uplink * 100.0, p.use.switch_port * 100.0,
+                  p.use.trunk * 100.0, p.use.rx_dma * 100.0,
+                  p.use.rx_cpu * 100.0, p.bottleneck.c_str(),
+                  p.bottleneck_util * 100.0);
+      report.BeginRow()
+          .Field("senders", static_cast<double>(p.senders))
+          .Field("pdu_kb", static_cast<double>(p.pdu / 1024))
+          .Field("offered_mbps", p.offered_mbps)
+          .Field("aggregate_goodput_mbps", p.goodput_mbps)
+          .Field("switch_drops", static_cast<double>(p.drops))
+          .Field("uplink_util", p.use.uplink)
+          .Field("switch_port_util", p.use.switch_port)
+          .Field("trunk_util", p.use.trunk)
+          .Field("rx_dma_util", p.use.rx_dma)
+          .Field("rx_cpu_util", p.use.rx_cpu)
+          .Field("bottleneck", p.bottleneck)
+          .Field("bottleneck_util", p.bottleneck_util);
+    }
+  }
+  report.Write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fbufs
+
+int main() { return fbufs::bench::Main(); }

@@ -11,12 +11,16 @@ Status DriverProtocol::Push(Message m) {
 
   // Gather the PDU bytes straight from physical memory (DMA does the work;
   // no CPU data-touch cost, no permission path — the board masters the bus).
+  last_tx_fbuf_ = nullptr;
   std::vector<std::uint8_t> payload(m.length());
   std::uint64_t pos = 0;
   Status status = Status::kOk;
   m.ForEachExtent([&](const Extent& e) {
     if (!Ok(status)) {
       return;
+    }
+    if (e.fb != nullptr) {
+      last_tx_fbuf_ = e.fb;  // ends on the payload: headers precede it
     }
     if (e.fb == nullptr) {
       std::memset(payload.data() + pos, 0, e.len);
@@ -79,6 +83,7 @@ Status DriverProtocol::DeliverPdu(const std::vector<std::uint8_t>& payload, std:
     pos += in_page;
   }
   pdus_received_++;
+  last_rx_fbuf_ = fb;
   st = SendUp(Message::Leaf(fb, 0, payload.size()));
   const Status free_st = stack_->fsys()->Free(fb, *domain());
   return Ok(st) ? free_st : st;

@@ -50,12 +50,21 @@ class DriverProtocol : public Protocol {
   std::uint64_t pdus_sent() const { return pdus_sent_; }
   std::uint64_t pdus_received() const { return pdus_received_; }
 
+  // The fbufs behind the most recent receive (DeliverPdu allocation) and
+  // transmit (the payload extent pushed down — the final extent, since
+  // protocol headers are prepended in front of it). Tests use these to
+  // assert pointer identity across a relay's fbuf-to-fbuf forwarding path.
+  const Fbuf* last_rx_fbuf() const { return last_rx_fbuf_; }
+  const Fbuf* last_tx_fbuf() const { return last_tx_fbuf_; }
+
  private:
   OsirisAdapter* adapter_;
   std::uint32_t vci_;
   TransmitFn on_transmit_;
   std::uint64_t pdus_sent_ = 0;
   std::uint64_t pdus_received_ = 0;
+  const Fbuf* last_rx_fbuf_ = nullptr;
+  const Fbuf* last_tx_fbuf_ = nullptr;
 };
 
 }  // namespace fbufs

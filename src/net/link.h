@@ -6,6 +6,8 @@
 #define SRC_NET_LINK_H_
 
 #include <cstdint>
+#include <string>
+#include <utility>
 
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
@@ -15,15 +17,27 @@ namespace fbufs {
 
 class NullModemLink {
  public:
-  explicit NullModemLink(const CostParams* costs)
-      : costs_(costs), wire_("wire") {}
+  // |name| labels the wire Resource (topologies name each link); |mbps|
+  // overrides the cost model's net link rate, 0 keeping the default
+  // (516 Mbps, the paper's testbed).
+  explicit NullModemLink(const CostParams* costs, std::string name = "wire",
+                         double mbps = 0.0)
+      : costs_(costs), wire_(std::move(name)), mbps_(mbps) {}
 
   // A PDU whose last byte left the sender's adapter at |ready| finishes
   // crossing the wire at the returned time.
   SimTime Transmit(std::uint64_t bytes, SimTime ready) {
     bytes_carried_ += bytes;
     pdus_carried_++;
-    return wire_.Acquire(ready, costs_->WireTime(bytes));
+    return wire_.Acquire(ready, WireTime(bytes));
+  }
+
+  // Serialization time for |bytes| at this link's rate.
+  SimTime WireTime(std::uint64_t bytes) const {
+    if (mbps_ <= 0.0) {
+      return costs_->WireTime(bytes);
+    }
+    return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 * 1000.0 / mbps_);
   }
 
   SimTime busy_until() const { return wire_.busy_until(); }
@@ -42,6 +56,7 @@ class NullModemLink {
  private:
   const CostParams* costs_;
   Resource wire_;
+  double mbps_;  // 0 = use the cost model's link rate
   std::uint64_t bytes_carried_ = 0;
   std::uint64_t pdus_carried_ = 0;
 };

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <list>
+#include <string>
 #include <utility>
 
 #include "src/fbuf/fbuf.h"
@@ -27,8 +28,12 @@ class OsirisAdapter {
  public:
   static constexpr std::size_t kMaxCachedVcis = 16;
 
-  explicit OsirisAdapter(const CostParams* costs)
-      : costs_(costs), tx_dma_("tx-dma"), rx_dma_("rx-dma") {}
+  // |name_prefix| distinguishes the DMA resources of multi-adapter hosts
+  // (relays); the default keeps the historical "tx-dma"/"rx-dma" names.
+  explicit OsirisAdapter(const CostParams* costs, const std::string& name_prefix = "")
+      : costs_(costs),
+        tx_dma_(name_prefix + "tx-dma"),
+        rx_dma_(name_prefix + "rx-dma") {}
 
   // --- DMA timing ------------------------------------------------------------
   // Each direction's DMA engine is a serial Resource; it runs concurrently

@@ -1,214 +1,8 @@
-// DecStations connected by a null modem between their Osiris boards:
-// the paper's end-to-end UDP/IP experiment (Figures 5 and 6, and the §4 CPU
-// load measurements), generalized to many concurrent flows.
-//
-// Each host is a full simulated machine (own clock, VM, fbuf system, IPC,
-// protocol stack, adapter). Data really crosses: PDU bytes are gathered
-// from the sender's physical frames and scattered into receiver fbufs.
-//
-// Time is coordinated by a discrete-event engine (src/sim/event_loop.h):
-// sends, DMA completions, wire deliveries and acknowledgements are scheduled
-// events, and each serial resource in the pipeline — every sender CPU, each
-// adapter's DMA engine per direction, the wire, the receiver CPU — is a
-// Resource with its own utilization accounting. Throughput and CPU load
-// fall out of the schedule. The engine supports multiple concurrent flows
-// over distinct VCIs from multiple sender hosts into one receiving host
-// (the paper's testbed is the one-flow special case).
+// The testbed moved to the topology fabric (it is the trivial one-link
+// topology); this shim keeps historical include paths working.
 #ifndef SRC_NET_TESTBED_H_
 #define SRC_NET_TESTBED_H_
 
-#include <cstdint>
-#include <deque>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "src/net/atm.h"
-#include "src/net/driver.h"
-#include "src/net/link.h"
-#include "src/net/osiris.h"
-#include "src/proto/ip.h"
-#include "src/proto/loopback_stack.h"
-#include "src/proto/test_protocols.h"
-#include "src/proto/udp.h"
-#include "src/sim/event_loop.h"
-
-namespace fbufs {
-
-// Where the stack's layers live (per host; both hosts are configured the
-// same way, mirrored, as in the paper).
-enum class StackPlacement {
-  kKernelOnly,          // everything in the kernel (Fig 5 "kernel-kernel")
-  kUserKernel,          // test protocol in a user domain ("user-user")
-  kUserNetserverKernel  // UDP in a netserver domain ("user-netserver-user")
-};
-
-struct TestbedConfig {
-  StackPlacement placement = StackPlacement::kUserKernel;
-  std::uint64_t pdu_size = 16 * 1024;  // IP PDU (paper: 16 KB; 32 KB variant in §4)
-  // Receiver-side reassembly buffers: cached per-VCI fbufs vs the uncached
-  // fallback queue. Per the paper's footnote 5, uncached fbufs incur
-  // additional cost only in the receiving host.
-  bool cached = true;
-  // Sender-side immutability: volatile vs secured-on-transfer. Non-volatile
-  // fbufs cost only in the transmitting host (the receiver's originator is
-  // the trusted kernel).
-  bool volatile_fbufs = true;
-  // Sender-side allocator caching (kept on even in the Figure 6
-  // configuration; turn off to study a fully uncached sender).
-  bool sender_cached = true;
-  std::uint32_t window = 8;  // sliding-window flow control, in messages
-  bool integrated = true;
-  MachineConfig machine;     // cost model for all hosts
-};
-
-class Testbed {
- public:
-  explicit Testbed(const TestbedConfig& config);
-
-  struct Result {
-    double throughput_mbps = 0;
-    double sender_cpu_load = 0;
-    double receiver_cpu_load = 0;
-    std::uint64_t messages = 0;
-    std::uint64_t bytes = 0;
-    SimTime elapsed_ns = 0;
-  };
-
-  // Streams |messages| test messages of |bytes| each from the sender's test
-  // protocol to the receiver's sink. |warmup| extra messages are sent first
-  // and excluded from the measurement (pipeline fill, cold fbuf caches).
-  // Shorthand for RunFlows with traffic on the built-in flow only.
-  Result Run(std::uint64_t messages, std::uint64_t bytes, std::uint64_t warmup = 0);
-
-  // --- Multi-flow operation ----------------------------------------------------
-  // Adds a flow: a new sender host transmitting on |vci| to a new sink bound
-  // at |port| on the receiving host. Flow 0 (VCI kVci, port 2000) exists
-  // from construction. Returns the flow index.
-  std::size_t AddFlow(std::uint32_t vci, std::uint16_t port);
-
-  struct FlowTraffic {
-    std::uint64_t messages = 0;
-    std::uint64_t bytes = 0;
-    std::uint64_t warmup = 0;
-  };
-
-  struct FlowResult {
-    double throughput_mbps = 0;
-    double sender_cpu_load = 0;
-    std::uint64_t messages = 0;
-    std::uint64_t bytes = 0;
-    SimTime elapsed_ns = 0;
-    bool failed = false;
-  };
-
-  struct ResourceUse {
-    std::string name;
-    SimTime busy_ns = 0;
-    double utilization = 0;  // over the run's measurement window
-  };
-
-  struct MultiResult {
-    std::vector<FlowResult> flows;
-    double aggregate_mbps = 0;
-    double receiver_cpu_load = 0;
-    SimTime elapsed_ns = 0;
-    std::vector<ResourceUse> resources;
-    bool failed = false;
-  };
-
-  // Schedules traffic[i] on flow i (entries beyond the flow count are
-  // ignored; zero-message entries leave a flow idle), runs the event loop to
-  // quiescence, and reports per-flow and per-resource results.
-  MultiResult RunFlows(const std::vector<FlowTraffic>& traffic);
-
-  // One host: a complete machine with its protocol stack.
-  struct Host {
-    Host(const TestbedConfig& config, bool is_sender, std::uint32_t vci,
-         std::uint16_t port, const std::string& name);
-
-    Machine machine;
-    FbufSystem fsys;
-    Rpc rpc;
-    OsirisAdapter adapter;
-    Resource cpu;
-    std::unique_ptr<ProtocolStack> stack;
-    // Sender side uses source/udp/ip/driver; receiver driver/ip/udp/sink.
-    std::unique_ptr<SourceProtocol> source;
-    std::unique_ptr<UdpProtocol> udp;
-    std::unique_ptr<IpProtocol> ip;
-    std::unique_ptr<DriverProtocol> driver;
-    std::unique_ptr<SinkProtocol> sink;
-    std::uint32_t vci = 0;
-
-    // PDUs handed to the adapter by the driver, awaiting DMA scheduling.
-    struct StagedPdu {
-      std::vector<std::uint8_t> payload;
-      SimTime ready = 0;
-    };
-    std::deque<StagedPdu> staged;
-  };
-
-  Host& sender() { return *senders_[0]; }
-  Host& sender(std::size_t flow) { return *senders_[flow]; }
-  Host& receiver() { return *receiver_; }
-  NullModemLink& link() { return link_; }
-  EventLoop& loop() { return loop_; }
-  std::size_t flow_count() const { return flows_.size(); }
-  SinkProtocol& flow_sink(std::size_t flow) { return *flows_[flow].sink; }
-
-  static constexpr std::uint32_t kVci = 42;
-
- private:
-  // A unidirectional sender-host -> receiver-sink circuit.
-  struct Flow {
-    std::uint32_t vci = 0;
-    std::uint16_t port = 0;
-    std::size_t sender = 0;  // index into senders_ (one flow per sender host)
-    SinkProtocol* sink = nullptr;
-    AtmReassembler reassembler;
-    // Receiver-side endpoint objects owned for flows beyond the first.
-    std::unique_ptr<SinkProtocol> owned_sink;
-  };
-
-  // Per-flow state of one RunFlows invocation.
-  struct FlowRun {
-    FlowTraffic traffic;
-    std::uint64_t total = 0;      // warmup + messages
-    std::uint64_t next = 0;       // next message index to send
-    std::uint64_t completed = 0;  // messages fully delivered
-    std::vector<SimTime> ack_time;
-    std::vector<bool> acked;
-    std::vector<std::uint64_t> pdus_left;
-    SimTime t0_tx = 0;
-    SimTime t0_rx = 0;
-    SimTime tx_end = 0;
-    SimTime rx_end = 0;
-    SimTime tx_busy = 0;
-    SimTime rx_busy = 0;
-    bool failed = false;
-  };
-
-  static void WireSender(Host* host);
-  SimTime Key(SimTime t) const;
-  void ScheduleSenderStep(std::size_t flow);
-  void SenderStep(std::size_t flow);
-  void SchedulePduPipeline(std::size_t flow, std::uint64_t msg,
-                           Host::StagedPdu pdu);
-  void DeliverEvent(std::size_t flow, std::uint64_t msg,
-                    std::vector<std::uint8_t> payload, SimTime rx_dma_done);
-  void CompleteMessage(std::size_t flow, std::uint64_t msg);
-
-  TestbedConfig config_;
-  EventLoop loop_;
-  std::vector<std::unique_ptr<Host>> senders_;
-  std::unique_ptr<Host> receiver_;
-  NullModemLink link_;
-  std::vector<Flow> flows_;
-  std::vector<FlowRun> runs_;          // live during RunFlows
-  std::vector<bool> step_pending_;     // one sender-step event in flight per flow
-};
-
-}  // namespace fbufs
+#include "src/topo/testbed.h"
 
 #endif  // SRC_NET_TESTBED_H_

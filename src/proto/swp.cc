@@ -77,10 +77,10 @@ void SwpProtocol::ArmTimer() {
   // partially ordered), so clamp the event key, never the deadline.
   const SimTime deadline = stack_->machine()->clock().Now() + rto_;
   const SimTime key = std::max(deadline, loop_->Now());
-  loop_->Schedule(key, "swp-rto", [this, deadline] {
+  timer_id_ = loop_->Schedule(key, "swp-rto", [this, deadline] {
     timer_pending_ = false;
     if (outstanding_.empty()) {
-      return;  // everything acknowledged while the timeout was in flight
+      return;  // defensive: a full ack should have cancelled this event
     }
     timer_fires_++;
     // The interrupt fires once the sender's own clock reaches the deadline.
@@ -155,6 +155,10 @@ Status SwpProtocol::Pop(Message m) {
     }
     if (h.seq > send_base_) {
       send_base_ = h.seq;
+    }
+    if (outstanding_.empty() && timer_pending_ && loop_ != nullptr) {
+      loop_->Cancel(timer_id_);
+      timer_pending_ = false;
     }
     return Status::kOk;
   }

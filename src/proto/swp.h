@@ -53,9 +53,10 @@ class SwpProtocol : public Protocol {
 
   // Drives retransmission from |loop|: every data transmit arms a one-shot
   // timeout |rto| nanoseconds of sender time out. When it fires with frames
-  // still outstanding they are retransmitted and the timer re-arms; when
-  // everything has been acknowledged it simply goes quiet (there is no
-  // cancel — a stale timeout is a cheap no-op).
+  // still outstanding they are retransmitted and the timer re-arms; when the
+  // last outstanding frame is acknowledged the pending timeout is cancelled
+  // (EventLoop::Cancel), so a fully-acked sender leaves no stale events in
+  // the queue.
   void AttachTimer(EventLoop* loop, SimTime rto) {
     loop_ = loop;
     rto_ = rto;
@@ -89,6 +90,7 @@ class SwpProtocol : public Protocol {
   EventLoop* loop_ = nullptr;
   SimTime rto_ = 0;
   bool timer_pending_ = false;
+  EventLoop::EventId timer_id_ = 0;
 
   // Sender state: retained frames awaiting acknowledgement.
   std::uint32_t next_seq_ = 0;

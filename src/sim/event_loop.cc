@@ -11,15 +11,34 @@ EventLoop::EventId EventLoop::Schedule(SimTime t, std::string label, Handler fn)
   e.label = std::move(label);
   e.fn = std::move(fn);
   queue_.push(std::move(e));
+  live_.insert(id);
   return id;
 }
 
+bool EventLoop::Cancel(EventId id) {
+  if (live_.erase(id) == 0) {
+    return false;  // never scheduled, already dispatched, or already cancelled
+  }
+  cancelled_.insert(id);
+  cancelled_total_++;
+  return true;
+}
+
+void EventLoop::PurgeCancelledTop() {
+  while (!queue_.empty() && cancelled_.count(queue_.top().seq) != 0) {
+    cancelled_.erase(queue_.top().seq);
+    queue_.pop();
+  }
+}
+
 bool EventLoop::RunOne() {
+  PurgeCancelledTop();
   if (queue_.empty()) {
     return false;
   }
   Event e = queue_.top();
   queue_.pop();
+  live_.erase(e.seq);
   now_ = e.time;
   HashDispatch(e);
   dispatched_++;
@@ -37,7 +56,11 @@ std::uint64_t EventLoop::Run() {
 
 std::uint64_t EventLoop::RunUntil(SimTime t) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= t && RunOne()) {
+  for (;;) {
+    PurgeCancelledTop();
+    if (queue_.empty() || queue_.top().time > t || !RunOne()) {
+      break;
+    }
     n++;
   }
   return n;

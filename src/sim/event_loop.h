@@ -21,6 +21,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -55,6 +56,13 @@ class EventLoop {
     return Schedule(now_ + delay, std::move(label), std::move(fn));
   }
 
+  // Cancels a pending event. Returns true when the event existed and had not
+  // yet been dispatched; a cancelled event never dispatches, never enters the
+  // trace (or the trace hash), and does not count as dispatched. Re-armed
+  // timers (SWP's RTO) and drained queues cancel instead of letting stale
+  // events fire as no-ops.
+  bool Cancel(EventId id);
+
   // Dispatches the earliest pending event. Returns false when the queue is
   // empty (quiescence).
   bool RunOne();
@@ -66,9 +74,11 @@ class EventLoop {
   // schedules such as retransmission timers that re-arm themselves).
   std::uint64_t RunUntil(SimTime t);
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return pending() == 0; }
+  // Cancelled events still sitting in the queue do not count as pending.
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
   std::uint64_t events_dispatched() const { return dispatched_; }
+  std::uint64_t events_cancelled() const { return cancelled_total_; }
 
   // FNV-1a over (time, seq, label) of every dispatched event.
   std::uint64_t trace_hash() const { return trace_hash_; }
@@ -90,8 +100,13 @@ class EventLoop {
   };
 
   void HashDispatch(const Event& e);
+  // Discards cancelled events from the queue head so callers see live state.
+  void PurgeCancelledTop();
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> live_;       // scheduled, not yet dispatched
+  std::unordered_set<EventId> cancelled_;  // cancelled, still in the queue
+  std::uint64_t cancelled_total_ = 0;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
@@ -143,12 +158,35 @@ class Resource {
   std::uint64_t acquisitions() const { return acquisitions_; }
   const std::string& name() const { return name_; }
 
-  // Fraction of [window_start, until] the resource was occupied.
+  // Fraction of [window_start, until] the resource was occupied. Acquire
+  // records a whole occupancy up front, so on a saturated resource busy time
+  // can outrun the window; a fraction above 1.0 is an accounting artifact,
+  // not a physical possibility — clamp it.
   double Utilization(SimTime until) const {
     if (until <= window_start_) {
       return 0.0;
     }
-    return static_cast<double>(busy_ns_) / static_cast<double>(until - window_start_);
+    const double u =
+        static_cast<double>(busy_ns_) / static_cast<double>(until - window_start_);
+    return u > 1.0 ? 1.0 : u;
+  }
+
+  // Like Utilization, but busy_until()-aware: work still in flight when the
+  // window closes at |until| is trimmed to the window, so a saturated
+  // resource reports ~1.0 instead of counting occupancy that lies in the
+  // future. (Intervals are non-overlapping and ordered on a serial resource,
+  // so everything past |until| belongs to the in-flight tail.)
+  double UtilizationInWindow(SimTime until) const {
+    if (until <= window_start_) {
+      return 0.0;
+    }
+    SimTime busy = busy_ns_;
+    if (busy_until_ > until) {
+      const SimTime overhang = busy_until_ - until;
+      busy = overhang >= busy ? 0 : busy - overhang;
+    }
+    const double u = static_cast<double>(busy) / static_cast<double>(until - window_start_);
+    return u > 1.0 ? 1.0 : u;
   }
 
   void Reset() {

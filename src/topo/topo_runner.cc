@@ -1,0 +1,514 @@
+#include "src/topo/topo_runner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fbufs {
+
+std::size_t TopologyRunner::AddFlow(std::vector<Leg> legs, SinkProtocol* sink,
+                                    std::uint32_t window) {
+  assert(!legs.empty());
+  Flow flow;
+  flow.legs = std::move(legs);
+  flow.sink = sink;
+  flow.window = window;
+  for (std::size_t i = 0; i < flow.legs.size(); ++i) {
+    flow.reassemblers.push_back(std::make_unique<AtmReassembler>());
+  }
+  flows_.push_back(std::move(flow));
+  return flows_.size() - 1;
+}
+
+SimTime TopologyRunner::Key(SimTime t) const {
+  // Event keys order dispatch; handlers derive simulated times from host
+  // clocks and resource busy-untils. A computed time can lie behind the
+  // loop's dispatch floor (host timelines are only partially ordered), so
+  // clamp the key — never the value.
+  return std::max(t, loop_->Now());
+}
+
+void TopologyRunner::ScheduleSenderStep(std::size_t flow) {
+  FlowRun& run = runs_[flow];
+  if (step_pending_[flow] || run.failed || run.next >= run.total) {
+    return;
+  }
+  step_pending_[flow] = true;
+  SimHost& tx = TxHost(flow);
+  loop_->Schedule(Key(tx.machine.clock().Now()),
+                  "send/" + std::to_string(flow) + "/" + std::to_string(run.next),
+                  [this, flow] {
+                    step_pending_[flow] = false;
+                    SenderStep(flow);
+                  });
+}
+
+void TopologyRunner::SenderStep(std::size_t flow) {
+  FlowRun& run = runs_[flow];
+  if (run.failed || run.next >= run.total) {
+    return;
+  }
+  const std::uint32_t window = flows_[flow].window;
+  SimHost& tx = TxHost(flow);
+  SimClock& tx_clock = tx.machine.clock();
+  const std::uint64_t m = run.next;
+
+  // Sliding-window flow control: do not run more than |window| messages
+  // ahead of the receiver's acknowledgements. If the ack is still in
+  // flight, stay quiescent; its arrival reschedules this step.
+  if (window > 0 && m >= window && !run.acked[m - window]) {
+    return;
+  }
+
+  if (m == run.traffic.warmup) {
+    // Measurement starts here: pipeline full, fbuf caches warm.
+    run.t0_tx = tx_clock.Now();
+    run.tx_busy = 0;
+  }
+  if (window > 0 && m >= window) {
+    tx_clock.AdvanceToAtLeast(run.ack_time[m - window]);
+  }
+
+  const SimTime tx_before = tx_clock.Now();
+  const Status st = tx.source->SendOne(run.traffic.bytes);
+  if (!Ok(st)) {
+    run.failed = true;
+    return;
+  }
+  const SimTime tx_after = tx_clock.Now();
+  tx.cpu.RecordBusy(tx_before, tx_after);
+  run.tx_busy += tx_after - tx_before;
+  run.tx_end = tx_after;
+  run.next++;
+
+  // The send staged PDUs with the adapter (plus anything staged by hand
+  // before the run, drained FIFO and attributed to this message). Pipe each
+  // through the first leg of the route and schedule its arrival.
+  run.pdus_left[m] = tx.staged.size();
+  if (tx.staged.empty()) {
+    // Nothing crossed the wire (degenerate send): acknowledge immediately
+    // so the window never deadlocks.
+    run.completed++;
+    if (m + 1 == run.traffic.warmup) {
+      run.t0_rx = RxHost(flow).machine.clock().Now();
+      run.rx_busy = 0;
+    }
+    run.ack_time[m] = tx_clock.Now();
+    run.acked[m] = true;
+  } else {
+    while (!tx.staged.empty()) {
+      SimHost::StagedPdu pdu = std::move(tx.staged.front());
+      tx.staged.pop_front();
+      RunLeg(flow, 0, m, std::move(pdu));
+      if (run.failed) {
+        return;
+      }
+    }
+  }
+  ScheduleSenderStep(flow);
+}
+
+void TopologyRunner::RunLeg(std::size_t flow, std::size_t leg_i,
+                            std::uint64_t msg, SimHost::StagedPdu pdu) {
+  FlowRun& run = runs_[flow];
+  Flow& f = flows_[flow];
+  const Leg& leg = f.legs[leg_i];
+  SimHost& tx = *topo_->host(leg.tx);
+
+  // The PDU really crosses as ATM cells: segment with the AAL5 trailer,
+  // reassemble (length + CRC verified) on the receiving board. The serial
+  // resources are acquired in pipeline order; each acquisition advances
+  // that resource's busy-until, never a host clock.
+  const std::vector<AtmCell> cells = AtmSegmenter::Segment(pdu.payload, leg.vci);
+  const std::uint64_t wire_bytes = cells.size() * AtmCell::kPayloadBytes;
+  SimTime t = tx.out_adapter().TxDma(wire_bytes, pdu.ready);
+  for (const Hop& hop : leg.hops) {
+    const TopoLink::Outcome wire_out = topo_->link(hop.link).Transmit(wire_bytes, t);
+    t = wire_out.arrival;
+    if (wire_out.dropped) {
+      PduDropped(flow, msg);
+      return;
+    }
+    if (hop.via_switch != kNoNode) {
+      const SwitchNode::Outcome fwd =
+          topo_->switch_at(hop.via_switch)->Forward(leg.vci, wire_bytes, t);
+      if (fwd.dropped) {
+        PduDropped(flow, msg);
+        return;
+      }
+      t = fwd.done;
+    }
+  }
+  SimHost& rx = *topo_->host(leg.rx);
+  const SimTime rx_dma_done = rx.adapter.RxDma(wire_bytes, t);
+
+  std::vector<std::uint8_t> reassembled;
+  Status cell_st = Status::kExhausted;
+  for (const AtmCell& cell : cells) {
+    cell_st = f.reassemblers[leg_i]->Push(cell, &reassembled);
+  }
+  if (!Ok(cell_st)) {
+    run.failed = true;  // CRC failure cannot happen on these links
+    return;
+  }
+
+  if (leg_i + 1 == f.legs.size()) {
+    loop_->Schedule(
+        Key(rx_dma_done),
+        "deliver/" + std::to_string(flow) + "/" + std::to_string(msg),
+        [this, flow, msg, payload = std::move(reassembled), rx_dma_done]() mutable {
+          DeliverEvent(flow, msg, std::move(payload), rx_dma_done);
+        });
+  } else {
+    loop_->Schedule(
+        Key(rx_dma_done),
+        "relay/" + std::to_string(flow) + "/" + std::to_string(msg),
+        [this, flow, leg_i, msg, payload = std::move(reassembled),
+         rx_dma_done]() mutable {
+          RelayEvent(flow, leg_i, msg, std::move(payload), rx_dma_done);
+        });
+  }
+}
+
+void TopologyRunner::DeliverEvent(std::size_t flow, std::uint64_t msg,
+                                  std::vector<std::uint8_t> payload,
+                                  SimTime rx_dma_done) {
+  FlowRun& run = runs_[flow];
+  if (run.failed) {
+    return;
+  }
+  SimHost& rx = RxHost(flow);
+  SimClock& rx_clock = rx.machine.clock();
+  // The receiving CPU picks the PDU up no earlier than its DMA completion;
+  // it may already be past that point serving another delivery.
+  rx_clock.AdvanceToAtLeast(rx_dma_done);
+
+  const SimTime rx_before = rx_clock.Now();
+  const Status st = rx.driver->DeliverPdu(payload, flows_[flow].legs.back().vci,
+                                          rx.config.volatile_fbufs);
+  if (!Ok(st)) {
+    run.failed = true;
+    return;
+  }
+  const SimTime rx_after = rx_clock.Now();
+  rx.cpu.RecordBusy(rx_before, rx_after);
+  run.rx_busy += rx_after - rx_before;
+  run.rx_end = rx_after;
+
+  assert(run.pdus_left[msg] > 0);
+  if (--run.pdus_left[msg] == 0) {
+    CompleteMessage(flow, msg);
+  }
+}
+
+void TopologyRunner::RelayEvent(std::size_t flow, std::size_t leg_i,
+                                std::uint64_t msg,
+                                std::vector<std::uint8_t> payload,
+                                SimTime rx_dma_done) {
+  FlowRun& run = runs_[flow];
+  if (run.failed) {
+    return;
+  }
+  const Leg& leg = flows_[flow].legs[leg_i];
+  SimHost& relay = *topo_->host(leg.rx);
+  SimClock& clock = relay.machine.clock();
+  clock.AdvanceToAtLeast(rx_dma_done);
+
+  const SimTime before = clock.Now();
+  // Into fbufs, up to the relay protocol, and straight back down onto the
+  // second adapter — the forwarded PDUs land in relay.staged.
+  const Status st =
+      relay.driver->DeliverPdu(payload, leg.vci, relay.config.volatile_fbufs);
+  if (!Ok(st)) {
+    run.failed = true;
+    return;
+  }
+  const SimTime after = clock.Now();
+  relay.cpu.RecordBusy(before, after);
+
+  // This leg's PDU is consumed; whatever the out-driver staged continues on
+  // the next leg under the same message. The consumed PDU is decremented
+  // only after the new ones are counted, so the tally can't hit zero while
+  // forwarded PDUs are still in flight.
+  run.pdus_left[msg] += relay.staged.size();
+  while (!relay.staged.empty()) {
+    SimHost::StagedPdu pdu = std::move(relay.staged.front());
+    relay.staged.pop_front();
+    RunLeg(flow, leg_i + 1, msg, std::move(pdu));
+    if (run.failed) {
+      return;
+    }
+  }
+  assert(run.pdus_left[msg] > 0);
+  if (--run.pdus_left[msg] == 0) {
+    CompleteMessage(flow, msg);
+  }
+}
+
+void TopologyRunner::PduDropped(std::size_t flow, std::uint64_t msg) {
+  FlowRun& run = runs_[flow];
+  run.dropped++;
+  // The dropped PDU still completes the message's flow-control accounting:
+  // the window is a credit scheme, not a reliability protocol, and a lossy
+  // run must drain rather than hang (goodput reports the shortfall).
+  assert(run.pdus_left[msg] > 0);
+  if (--run.pdus_left[msg] == 0) {
+    CompleteMessage(flow, msg);
+  }
+}
+
+void TopologyRunner::CompleteMessage(std::size_t flow, std::uint64_t msg) {
+  FlowRun& run = runs_[flow];
+  SimHost& rx = RxHost(flow);
+  if (msg + 1 == run.traffic.warmup) {
+    // The last warmup message is fully delivered: the receiver's
+    // measurement window starts now.
+    run.t0_rx = rx.machine.clock().Now();
+    run.rx_busy = 0;
+  }
+  // The acknowledgement rides back over the (otherwise idle) reverse
+  // channel: one cell's worth of latency.
+  const SimTime ack_t = rx.machine.clock().Now() + rx.machine.costs().WireTime(48);
+  run.completed++;
+  loop_->Schedule(Key(ack_t),
+                  "ack/" + std::to_string(flow) + "/" + std::to_string(msg),
+                  [this, flow, msg, ack_t] {
+                    FlowRun& r = runs_[flow];
+                    r.ack_time[msg] = ack_t;
+                    r.acked[msg] = true;
+                    ScheduleSenderStep(flow);
+                  });
+}
+
+MultiResult TopologyRunner::RunFlows(const std::vector<FlowTraffic>& traffic) {
+  MultiResult mr;
+  mr.flows.resize(flows_.size());
+
+  runs_.assign(flows_.size(), FlowRun{});
+  step_pending_.assign(flows_.size(), false);
+
+  // Restart resource accounting: utilization is reported over this run
+  // (warmup included), not the topology's lifetime.
+  SimTime run_start = 0;
+  bool run_start_set = false;
+  for (NodeId n = 0; n < topo_->node_count(); ++n) {
+    if (topo_->is_switch(n)) {
+      SwitchNode* sw = topo_->switch_at(n);
+      for (std::size_t p = 0; p < sw->port_count(); ++p) {
+        Resource& r = sw->port_resource(p);
+        r.ResetAccounting(r.busy_until());
+      }
+      continue;
+    }
+    SimHost* h = topo_->host(n);
+    if (h == nullptr) {
+      continue;
+    }
+    switch (h->role) {
+      case HostRole::kReceiver: {
+        const SimTime now = h->machine.clock().Now();
+        if (!run_start_set || now < run_start) {
+          run_start = now;
+          run_start_set = true;
+        }
+        h->cpu.ResetAccounting(now);
+        h->adapter.rx_dma().ResetAccounting(h->adapter.rx_dma().busy_until());
+        break;
+      }
+      case HostRole::kRelay:
+        h->cpu.ResetAccounting(h->machine.clock().Now());
+        h->adapter.rx_dma().ResetAccounting(h->adapter.rx_dma().busy_until());
+        h->adapter_out->tx_dma().ResetAccounting(
+            h->adapter_out->tx_dma().busy_until());
+        break;
+      case HostRole::kSender:
+        break;  // reset per flow below
+    }
+  }
+  for (LinkId l = 0; l < topo_->link_count(); ++l) {
+    Resource& w = topo_->link(l).wire();
+    w.ResetAccounting(w.busy_until());
+  }
+
+  bool any = false;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    FlowRun& run = runs_[i];
+    if (i < traffic.size()) {
+      run.traffic = traffic[i];
+    }
+    run.total = run.traffic.warmup + run.traffic.messages;
+    SimHost& tx = TxHost(i);
+    tx.cpu.ResetAccounting(tx.machine.clock().Now());
+    tx.out_adapter().tx_dma().ResetAccounting(
+        tx.out_adapter().tx_dma().busy_until());
+    run.t0_tx = tx.machine.clock().Now();
+    run.t0_rx = RxHost(i).machine.clock().Now();
+    run.tx_end = run.t0_tx;
+    run.rx_end = run.t0_rx;
+    run.sink_bytes_start = flows_[i].sink->bytes_received();
+    if (run.total == 0) {
+      continue;
+    }
+    run.ack_time.assign(run.total, 0);
+    run.acked.assign(run.total, false);
+    run.pdus_left.assign(run.total, 0);
+    if (!run_start_set || run.t0_tx < run_start) {
+      run_start = run_start_set ? std::min(run_start, run.t0_tx) : run.t0_tx;
+      run_start_set = true;
+    }
+    any = true;
+    ScheduleSenderStep(i);
+  }
+
+  if (any) {
+    loop_->Run();
+  }
+
+  SimTime global_end = run_start;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    FlowRun& run = runs_[i];
+    FlowResult& fr = mr.flows[i];
+    fr.messages = run.traffic.messages;
+    fr.bytes = run.traffic.messages * run.traffic.bytes;
+    fr.pdus_dropped = run.dropped;
+    fr.failed = run.failed;
+    mr.failed = mr.failed || run.failed;
+    if (run.total == 0 || run.failed) {
+      continue;
+    }
+    const SimTime tx_elapsed = run.tx_end - run.t0_tx;
+    const SimTime rx_elapsed = run.rx_end > run.t0_rx ? run.rx_end - run.t0_rx : 0;
+    SimTime wire_tail = 0;
+    for (const Leg& leg : flows_[i].legs) {
+      for (const Hop& hop : leg.hops) {
+        const SimTime bu = topo_->link(hop.link).busy_until();
+        if (bu > run.t0_tx) {
+          wire_tail = std::max(wire_tail, bu - run.t0_tx);
+        }
+      }
+    }
+    fr.elapsed_ns = std::max({tx_elapsed, rx_elapsed, wire_tail});
+    if (fr.elapsed_ns > 0) {
+      fr.throughput_mbps = static_cast<double>(fr.bytes) * 8.0 * 1000.0 /
+                           static_cast<double>(fr.elapsed_ns);
+      fr.sender_cpu_load = static_cast<double>(run.tx_busy) /
+                           static_cast<double>(fr.elapsed_ns);
+    }
+    // Goodput: bytes that actually reached the sink, warmup excluded (loss
+    // may eat into warmup; the shortfall is attributed to the measured part
+    // only when warmup was fully delivered).
+    const std::uint64_t delivered_total =
+        flows_[i].sink->bytes_received() - run.sink_bytes_start;
+    const std::uint64_t warmup_bytes = run.traffic.warmup * run.traffic.bytes;
+    fr.delivered_bytes =
+        delivered_total > warmup_bytes ? delivered_total - warmup_bytes : 0;
+    if (fr.elapsed_ns > 0) {
+      fr.goodput_mbps = static_cast<double>(fr.delivered_bytes) * 8.0 * 1000.0 /
+                        static_cast<double>(fr.elapsed_ns);
+    }
+    global_end = std::max({global_end, run.tx_end, run.rx_end});
+    mr.elapsed_ns = std::max(mr.elapsed_ns, fr.elapsed_ns);
+  }
+  for (LinkId l = 0; l < topo_->link_count(); ++l) {
+    global_end = std::max(global_end, topo_->link(l).busy_until());
+  }
+  for (NodeId n = 0; n < topo_->node_count(); ++n) {
+    if (topo_->is_switch(n)) {
+      SwitchNode* sw = topo_->switch_at(n);
+      for (std::size_t p = 0; p < sw->port_count(); ++p) {
+        global_end = std::max(global_end, sw->port_resource(p).busy_until());
+      }
+      continue;
+    }
+    SimHost* h = topo_->host(n);
+    if (h == nullptr) {
+      continue;
+    }
+    global_end = std::max({global_end, h->adapter.tx_dma().busy_until(),
+                           h->adapter.rx_dma().busy_until()});
+    if (h->adapter_out != nullptr) {
+      global_end = std::max({global_end, h->adapter_out->tx_dma().busy_until(),
+                             h->adapter_out->rx_dma().busy_until()});
+    }
+  }
+
+  std::uint64_t total_bytes = 0;
+  SimTime total_rx_busy = 0;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    total_bytes += mr.flows[i].bytes;
+    total_rx_busy += runs_[i].rx_busy;
+  }
+  // Legacy single-flow semantics: the receiver's load over the same window
+  // the flow's throughput was computed over. With several flows the window
+  // is the longest flow's.
+  if (mr.elapsed_ns > 0) {
+    mr.receiver_cpu_load = static_cast<double>(total_rx_busy) /
+                           static_cast<double>(mr.elapsed_ns);
+  }
+  const SimTime window = global_end > run_start ? global_end - run_start : 0;
+  if (window > 0) {
+    mr.aggregate_mbps = static_cast<double>(total_bytes) * 8.0 * 1000.0 /
+                        static_cast<double>(window);
+  }
+
+  auto report = [&](const Resource& r) {
+    ResourceUse use;
+    use.name = r.name();
+    use.busy_ns = r.busy_ns();
+    if (window > 0) {
+      // A saturated resource's last occupancy can overhang the window close
+      // (Acquire books the whole occupancy up front); trim it and clamp so a
+      // bottleneck reads as ~1.0, never more.
+      SimTime busy = r.busy_ns();
+      if (r.busy_until() > global_end) {
+        const SimTime overhang = r.busy_until() - global_end;
+        busy = overhang >= busy ? 0 : busy - overhang;
+      }
+      const double u = static_cast<double>(busy) / static_cast<double>(window);
+      use.utilization = u > 1.0 ? 1.0 : u;
+    }
+    mr.resources.push_back(std::move(use));
+  };
+  // Report order: sender-side resources per flow, then the fabric (switch
+  // ports, link wires), then relay and receiver hosts. The one-link testbed
+  // reduces to the historical order: sender cpu/tx-dma, wire, rx-dma, cpu.
+  std::vector<bool> tx_reported(topo_->node_count(), false);
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const NodeId n = flows_[i].legs.front().tx;
+    if (tx_reported[n]) {
+      continue;
+    }
+    tx_reported[n] = true;
+    SimHost* tx = topo_->host(n);
+    report(tx->cpu);
+    report(tx->out_adapter().tx_dma());
+  }
+  for (NodeId n = 0; n < topo_->node_count(); ++n) {
+    if (topo_->is_switch(n)) {
+      SwitchNode* sw = topo_->switch_at(n);
+      for (std::size_t p = 0; p < sw->port_count(); ++p) {
+        report(sw->port_resource(p));
+      }
+    }
+  }
+  for (LinkId l = 0; l < topo_->link_count(); ++l) {
+    report(topo_->link(l).wire());
+  }
+  for (NodeId n = 0; n < topo_->node_count(); ++n) {
+    SimHost* h = topo_->is_switch(n) ? nullptr : topo_->host(n);
+    if (h != nullptr && h->role == HostRole::kRelay) {
+      report(h->cpu);
+      report(h->adapter.rx_dma());
+      report(h->adapter_out->tx_dma());
+    }
+  }
+  for (NodeId n = 0; n < topo_->node_count(); ++n) {
+    SimHost* h = topo_->is_switch(n) ? nullptr : topo_->host(n);
+    if (h != nullptr && h->role == HostRole::kReceiver) {
+      report(h->adapter.rx_dma());
+      report(h->cpu);
+    }
+  }
+  return mr;
+}
+
+}  // namespace fbufs

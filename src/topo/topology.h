@@ -1,0 +1,163 @@
+// Topology fabric: a graph of nodes (hosts, ATM switches) and unidirectional
+// links on the event engine.
+//
+// Every link's wire and every switch output port is a Resource with its own
+// bandwidth and utilization accounting, so when flows converge the schedule
+// itself shows where the bottleneck sits (wire vs switch port vs receiver
+// DMA vs receiver CPU). Links support deterministic loss injection: each
+// link draws from its own SplitMix64 stream (seeded from the topology seed
+// and the link id), so traces replay byte-identically and toggling loss on
+// one link never perturbs another's stream.
+//
+// Switches forward per-VCI to an output port with a bounded queue measured
+// in PDUs: a PDU arriving at a full queue is dropped (counted, observable),
+// never stalled — exactly how an output-queued ATM switch sheds load.
+#ifndef SRC_TOPO_TOPOLOGY_H_
+#define SRC_TOPO_TOPOLOGY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/sim/rng.h"
+#include "src/topo/sim_host.h"
+
+namespace fbufs {
+
+using NodeId = std::size_t;
+using LinkId = std::size_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+// A unidirectional link: a NullModemLink wire plus loss injection.
+class TopoLink {
+ public:
+  TopoLink(const CostParams* costs, std::string name, double mbps, NodeId from,
+           NodeId to, std::uint64_t seed)
+      : wire_(costs, std::move(name), mbps), from_(from), to_(to), rng_(seed) {}
+
+  struct Outcome {
+    SimTime arrival = 0;
+    bool dropped = false;
+  };
+
+  // The PDU occupies the wire whether or not it is then lost (the bits were
+  // serialized either way); a drop is decided at the far end. The Rng is
+  // only consulted while loss is enabled, so a loss-free link's stream never
+  // advances and enabling loss elsewhere cannot shift it.
+  Outcome Transmit(std::uint64_t bytes, SimTime ready) {
+    const SimTime arrival = wire_.Transmit(bytes, ready);
+    if (drop_percent_ > 0 && rng_.Chance(drop_percent_, 100)) {
+      drops_++;
+      return {arrival, true};
+    }
+    return {arrival, false};
+  }
+
+  void set_drop_percent(std::uint32_t p) { drop_percent_ = p; }
+  std::uint32_t drop_percent() const { return drop_percent_; }
+  std::uint64_t drops() const { return drops_; }
+
+  NodeId from() const { return from_; }
+  NodeId to() const { return to_; }
+  NullModemLink& wire_link() { return wire_; }
+  Resource& wire() { return wire_.wire(); }
+  SimTime busy_until() const { return wire_.busy_until(); }
+
+ private:
+  NullModemLink wire_;
+  NodeId from_;
+  NodeId to_;
+  Rng rng_;
+  std::uint32_t drop_percent_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+struct SwitchPortConfig {
+  double mbps = 516.0;          // output line rate
+  std::size_t queue_pdus = 32;  // bounded output queue, in PDUs
+  SimTime per_pdu_ns = 0;       // fixed forwarding cost per PDU
+};
+
+// An output-queued ATM switch: per-VCI routing to an output port whose line
+// is a serial Resource. Queue occupancy is tracked analytically as the
+// completion times of PDUs not yet fully transmitted; arrival at a full
+// queue drops the PDU.
+class SwitchNode {
+ public:
+  SwitchNode(std::string name, std::vector<SwitchPortConfig> ports);
+
+  void Route(std::uint32_t vci, std::size_t port);
+
+  struct Outcome {
+    SimTime done = 0;
+    bool dropped = false;
+  };
+
+  // A PDU fully received at |arrival| leaves the switch at the returned
+  // time, or is dropped (unroutable VCI or full output queue).
+  Outcome Forward(std::uint32_t vci, std::uint64_t bytes, SimTime arrival);
+
+  const std::string& name() const { return name_; }
+  std::size_t port_count() const { return ports_.size(); }
+  Resource& port_resource(std::size_t i) { return ports_[i].line; }
+  std::uint64_t port_drops(std::size_t i) const { return ports_[i].drops; }
+  std::uint64_t port_forwarded(std::size_t i) const { return ports_[i].forwarded; }
+  std::uint64_t unroutable() const { return unroutable_; }
+  std::uint64_t drops_total() const;
+
+ private:
+  struct Port {
+    explicit Port(const SwitchPortConfig& c, const std::string& rname)
+        : cfg(c), line(rname) {}
+    SwitchPortConfig cfg;
+    Resource line;
+    std::deque<SimTime> in_flight;  // completion times of queued + in-service PDUs
+    std::uint64_t drops = 0;
+    std::uint64_t forwarded = 0;
+  };
+
+  std::string name_;
+  std::vector<Port> ports_;
+  std::map<std::uint32_t, std::size_t> routes_;
+  std::uint64_t unroutable_ = 0;
+};
+
+// The graph. Nodes are added in a fixed order (construction order is part of
+// a scenario's deterministic identity); links reference nodes by id.
+class Topology {
+ public:
+  explicit Topology(std::uint64_t seed = 0x5eed) : seed_(seed) {}
+
+  NodeId AddHost(std::unique_ptr<SimHost> host);
+  NodeId AddSwitch(const std::string& name, std::vector<SwitchPortConfig> ports);
+
+  // A unidirectional link |from| -> |to|. |mbps| of 0 uses |costs|'s link
+  // rate (516 Mbps, the paper's testbed).
+  LinkId AddLink(NodeId from, NodeId to, const CostParams* costs,
+                 std::string name, double mbps = 0.0);
+
+  SimHost* host(NodeId id) { return hosts_[id].get(); }
+  SwitchNode* switch_at(NodeId id) { return switches_[id].get(); }
+  bool is_switch(NodeId id) const {
+    return id < switches_.size() && switches_[id] != nullptr;
+  }
+  TopoLink& link(LinkId id) { return *links_[id]; }
+  std::size_t node_count() const { return hosts_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+ private:
+  std::uint64_t seed_;
+  // Parallel arrays indexed by NodeId: exactly one of hosts_[i],
+  // switches_[i] is non-null.
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+  std::vector<std::unique_ptr<SwitchNode>> switches_;
+  std::vector<std::unique_ptr<TopoLink>> links_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_TOPO_TOPOLOGY_H_

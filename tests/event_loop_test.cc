@@ -59,6 +59,64 @@ TEST(EventLoop, RunUntilStopsAtTheBoundary) {
   EXPECT_EQ(fired, 4);
 }
 
+TEST(EventLoop, CancelledEventNeverDispatches) {
+  EventLoop loop;
+  int fired = 0;
+  const EventLoop::EventId doomed = loop.Schedule(10, "doomed", [&] { fired += 100; });
+  loop.Schedule(20, "survivor", [&] { fired += 1; });
+  EXPECT_EQ(loop.pending(), 2u);
+  EXPECT_TRUE(loop.Cancel(doomed));
+  // Cancelled events no longer count as pending, and cancelling twice fails.
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_FALSE(loop.Cancel(doomed));
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.events_dispatched(), 1u);
+  EXPECT_EQ(loop.events_cancelled(), 1u);
+}
+
+TEST(EventLoop, CancelAfterDispatchOrOfUnknownIdFails) {
+  EventLoop loop;
+  const EventLoop::EventId id = loop.Schedule(5, "tick", [] {});
+  loop.Run();
+  EXPECT_FALSE(loop.Cancel(id));         // already dispatched
+  EXPECT_FALSE(loop.Cancel(id + 1000));  // never scheduled
+}
+
+TEST(EventLoop, CancelledEventsStayOutOfTraceAndHash) {
+  // Two loops schedule the same live events; one also schedules-and-cancels
+  // an extra event. Trace and hash must be identical: cancellation leaves no
+  // residue in the dispatched record.
+  EventLoop clean;
+  EventLoop noisy;
+  for (EventLoop* loop : {&clean, &noisy}) {
+    loop->set_record_trace(true);
+    loop->Schedule(10, "a", [] {});
+    loop->Schedule(20, "b", [] {});
+  }
+  noisy.Cancel(noisy.Schedule(15, "ghost", [] {}));
+  clean.Run();
+  noisy.Run();
+  EXPECT_EQ(clean.trace().size(), 2u);
+  EXPECT_TRUE(clean.trace() == noisy.trace());
+  EXPECT_EQ(clean.trace_hash(), noisy.trace_hash());
+}
+
+TEST(EventLoop, RunUntilSkipsCancelledBoundaryEvents) {
+  EventLoop loop;
+  int fired = 0;
+  const EventLoop::EventId head = loop.Schedule(10, "head", [&] { fired++; });
+  loop.Schedule(30, "tail", [&] { fired++; });
+  loop.Cancel(head);
+  // The cancelled event sits at the queue head inside the bound; RunUntil
+  // must discard it without dispatching and without stopping early.
+  EXPECT_EQ(loop.RunUntil(20), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(EventLoop, IdenticalSchedulesHashIdentically) {
   auto drive = [](EventLoop& loop) {
     loop.set_record_trace(true);
@@ -107,6 +165,36 @@ TEST(Resource, AccountingWindowResets) {
   r.ResetAccounting(250);
   r.RecordBusy(200, 300);
   EXPECT_EQ(r.busy_ns(), 50u);
+}
+
+TEST(Resource, UtilizationClampsAtFullOccupancy) {
+  Resource r("port");
+  // Acquire books whole occupancies up front: five back-to-back PDUs booked
+  // at t=0 put 500ns of busy time on the ledger immediately.
+  for (int i = 0; i < 5; ++i) {
+    r.Acquire(0, 100);
+  }
+  EXPECT_EQ(r.busy_ns(), 500u);
+  // Closing the window mid-schedule used to report 500/200 = 250%
+  // utilization. A serial resource can never exceed 1.0 — clamp.
+  EXPECT_EQ(r.Utilization(200), 1.0);
+  // The busy_until()-aware variant trims the in-flight tail instead of
+  // clamping: 500ns booked, 300ns of it past the window -> exactly full.
+  EXPECT_EQ(r.UtilizationInWindow(200), 1.0);
+  // Once the window covers the whole schedule both agree below 1.0.
+  EXPECT_NEAR(r.Utilization(1000), 0.5, 1e-12);
+  EXPECT_NEAR(r.UtilizationInWindow(1000), 0.5, 1e-12);
+}
+
+TEST(Resource, UtilizationInWindowTrimsOnlyTheOverhang) {
+  Resource r("dma");
+  r.Acquire(0, 100);    // [0, 100]
+  r.Acquire(400, 200);  // [400, 600]
+  // Window closes at 500: the second occupancy overhangs by 100ns. The
+  // trimmed busy time is 100 + 100 = 200 over a 500ns window.
+  EXPECT_NEAR(r.UtilizationInWindow(500), 200.0 / 500.0, 1e-12);
+  // The plain variant keeps the full ledger (300/500).
+  EXPECT_NEAR(r.Utilization(500), 300.0 / 500.0, 1e-12);
 }
 
 TEST(MultiFlow, ThreeVcisDeliverEverythingDeterministically) {

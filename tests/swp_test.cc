@@ -274,5 +274,30 @@ TEST(Swp, EventedTimerRetransmitsUnderInjectedLoss) {
   EXPECT_EQ(w.machine.stats().bytes_copied, 0u);
 }
 
+TEST(Swp, FullAckCancelsThePendingTimeout) {
+  World w(ZeroCostConfig());
+  SwpPair p(&w, /*drop=*/0);
+  EventLoop loop;
+  p.a->AttachTimer(&loop, 2 * kMillisecond);
+  // Deliver frame 0 but eat its ack: the frame stays outstanding, so Push
+  // arms the retransmission timeout.
+  p.ba->set_drop_percent(100);
+  ASSERT_EQ(p.SendOne(300, 0), Status::kOk);
+  EXPECT_EQ(p.a->unacked(), 1u);
+  EXPECT_EQ(loop.pending(), 1u);
+  // Frame 1's ack gets through and is cumulative: it empties the window
+  // while frame 0's timeout is still queued. The stale timeout is cancelled
+  // outright — not left to fire as a no-op — so the loop goes quiescent and
+  // the event never pollutes the trace.
+  p.ba->set_drop_percent(0);
+  ASSERT_EQ(p.SendOne(300, 1), Status::kOk);
+  EXPECT_EQ(p.a->unacked(), 0u);
+  EXPECT_TRUE(loop.empty());
+  EXPECT_EQ(loop.events_cancelled(), 1u);
+  loop.Run();
+  EXPECT_EQ(p.a->timer_fires(), 0u);
+  EXPECT_EQ(loop.events_dispatched(), 0u);
+}
+
 }  // namespace
 }  // namespace fbufs
