@@ -1,0 +1,126 @@
+// CampaignRunner: arms a FaultSchedule as EventLoop events against a live
+// world and records what happens.
+//
+// The runner does not drive traffic — the campaign's bench starts its flows
+// (TopologyRunner::RunFlows, or an SWP producer) on the same loop, and the
+// armed fault events fire interleaved with the traffic's own events at their
+// scheduled times. Around every fault (and at start/finish) the runner
+// snapshots delivered bytes / drops / retransmissions, so Finish() can cut
+// the run into per-phase goodput deltas. Audits — mid-campaign or final —
+// run the InvariantAuditor over every attached host; the final audit also
+// checks the SWP conversation when one is attached (quiescence is the only
+// time a clean window is required).
+//
+// Two world flavors are supported, matching the two campaign styles:
+//   * AttachTopology: faults address links/switches/hosts of a Topology and
+//     goodput is read from the TopologyRunner's flow sinks;
+//   * AttachSwp: a two-peer SWP conversation over LossyChannels —
+//     kAckPathOnlyLoss lives here, because only SWP has the retransmission
+//     machinery that makes pure ack loss recoverable.
+#ifndef SRC_FAULT_CAMPAIGN_H_
+#define SRC_FAULT_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/auditor.h"
+#include "src/fault/fault_schedule.h"
+#include "src/fault/report.h"
+#include "src/proto/swp.h"
+#include "src/proto/test_protocols.h"
+#include "src/topo/topo_runner.h"
+#include "src/topo/topology.h"
+
+namespace fbufs {
+
+class CampaignRunner {
+ public:
+  CampaignRunner(std::string name, std::uint64_t seed, EventLoop* loop)
+      : loop_(loop), report_(std::move(name), seed) {}
+
+  CampaignRunner(const CampaignRunner&) = delete;
+  CampaignRunner& operator=(const CampaignRunner&) = delete;
+
+  void AttachTopology(Topology* topo, TopologyRunner* runner) {
+    topo_ = topo;
+    runner_ = runner;
+  }
+
+  void AttachSwp(SwpProtocol* sender, SwpProtocol* receiver,
+                 LossyChannel* data_channel, LossyChannel* ack_channel,
+                 SinkProtocol* sink, Machine* machine) {
+    swp_sender_ = sender;
+    swp_receiver_ = receiver;
+    data_channel_ = data_channel;
+    ack_channel_ = ack_channel;
+    swp_sink_ = sink;
+    swp_machine_ = machine;
+  }
+
+  // Includes |machine| in every audit. |fsys| must be the machine's fbuf
+  // system.
+  void AddAuditedHost(const std::string& label, Machine* machine,
+                      FbufSystem* fsys) {
+    audited_.push_back(AuditedHost{label, machine, fsys});
+  }
+
+  // Schedules every action (plus its restore event, for bounded faults) and
+  // takes the campaign's opening sample. Call before running traffic.
+  void Arm(const FaultSchedule& schedule);
+
+  // Schedules a mid-campaign host audit (SWP is excluded: an open window
+  // mid-flow is normal, not a wedge).
+  void ScheduleAudit(SimTime at, const std::string& label);
+
+  // Campaign-specific verdict recorded alongside the audits.
+  void SetOutcome(bool ok, std::string note) {
+    report_.SetOutcome(ok, std::move(note));
+  }
+
+  // After the traffic ran the loop to quiescence: closes the last phase,
+  // runs the final audit (with the SWP wedge check when attached), and
+  // yields the finished report.
+  CampaignReport Finish();
+
+ private:
+  struct AuditedHost {
+    std::string label;
+    Machine* machine = nullptr;
+    FbufSystem* fsys = nullptr;
+  };
+
+  struct Sample {
+    SimTime at = 0;
+    std::string label;
+    std::uint64_t delivered = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t retransmissions = 0;
+  };
+
+  void TakeSample(const std::string& label);
+  void Apply(const FaultAction& a);
+  void RunAudit(const std::string& label, bool include_swp);
+  Machine* MachineFor(const FaultAction& a);
+
+  EventLoop* loop_;
+  CampaignReport report_;
+
+  Topology* topo_ = nullptr;
+  TopologyRunner* runner_ = nullptr;
+
+  SwpProtocol* swp_sender_ = nullptr;
+  SwpProtocol* swp_receiver_ = nullptr;
+  LossyChannel* data_channel_ = nullptr;
+  LossyChannel* ack_channel_ = nullptr;
+  SinkProtocol* swp_sink_ = nullptr;
+  Machine* swp_machine_ = nullptr;
+
+  std::vector<AuditedHost> audited_;
+  std::vector<Sample> samples_;
+  bool finished_ = false;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_FAULT_CAMPAIGN_H_

@@ -1,0 +1,58 @@
+#include "src/fault/swp_world.h"
+
+#include <algorithm>
+
+namespace fbufs {
+
+SwpWorld::SwpWorld(const SwpWorldConfig& cfg)
+    : machine(MachineConfig{}),
+      fsys(&machine),
+      rpc(&machine),
+      stack(&machine, &fsys, &rpc),
+      sender_domain(machine.CreateDomain("sender")),
+      receiver_domain(machine.CreateDomain("receiver")),
+      tx_hdr(fsys.paths().Register({sender_domain->id(), receiver_domain->id()})),
+      rx_hdr(fsys.paths().Register({receiver_domain->id(), sender_domain->id()})),
+      data(fsys.paths().Register({sender_domain->id(), receiver_domain->id()})),
+      sender(sender_domain, &stack, tx_hdr, cfg.window),
+      receiver(receiver_domain, &stack, rx_hdr, cfg.window),
+      fwd(sender_domain, &stack, cfg.fwd_seed, cfg.fwd_loss),
+      rev(receiver_domain, &stack, cfg.rev_seed, cfg.rev_loss),
+      sink(receiver_domain, &stack),
+      rto_(cfg.rto) {
+  fsys.AttachRpc(&rpc);
+  stack.set_domain_count(2);
+  sender.set_below(&fwd);
+  fwd.set_peer_above(&receiver);
+  receiver.set_below(&rev);
+  rev.set_peer_above(&sender);
+  receiver.set_above(&sink);
+  sender.AttachTimer(&loop, cfg.rto);
+  fsys.AttachEventLoop(&loop);
+}
+
+void SwpWorld::StartProducer(int messages, std::uint64_t bytes) {
+  target_ = messages;
+  bytes_ = bytes;
+  produce_ = [this] {
+    while (accepted_ < target_) {
+      Fbuf* fb = nullptr;
+      if (!Ok(fsys.Allocate(*sender_domain, data, bytes_, true, &fb))) {
+        return;
+      }
+      sender_domain->TouchRange(fb->base, bytes_, Access::kWrite);
+      const Status st = sender.Push(Message::Whole(fb));
+      fsys.Free(fb, *sender_domain);
+      if (st == Status::kOk) {
+        accepted_++;
+      } else {
+        loop.Schedule(std::max(loop.Now(), machine.clock().Now() + rto_),
+                      "swp-produce", produce_);
+        return;
+      }
+    }
+  };
+  loop.Schedule(loop.Now(), "swp-produce", produce_);
+}
+
+}  // namespace fbufs

@@ -1,0 +1,69 @@
+// SwpWorld: the two-peer SWP-over-lossy-channels world, packaged for fault
+// campaigns.
+//
+// One machine, two domains, an SWP sender/receiver pair joined by two
+// LossyChannels (independent SplitMix64 streams for the data and ack
+// directions — that independence is what makes kAckPathOnlyLoss a precise
+// instrument), a sink, and a producer that keeps the window full on the
+// event loop. This is the swp_goodput bench's world, factored out so the
+// campaigns and tests build the identical conversation.
+#ifndef SRC_FAULT_SWP_WORLD_H_
+#define SRC_FAULT_SWP_WORLD_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/proto/swp.h"
+#include "src/proto/test_protocols.h"
+#include "src/sim/event_loop.h"
+#include "src/vm/machine.h"
+
+namespace fbufs {
+
+struct SwpWorldConfig {
+  std::uint32_t window = 8;
+  SimTime rto = 2 * kMillisecond;
+  std::uint64_t fwd_seed = 11;
+  std::uint64_t rev_seed = 13;
+  std::uint32_t fwd_loss = 0;  // data-direction drop percent
+  std::uint32_t rev_loss = 0;  // ack-direction drop percent
+};
+
+struct SwpWorld {
+  explicit SwpWorld(const SwpWorldConfig& cfg = SwpWorldConfig());
+
+  // Keeps the window full until |messages| of |bytes| each were accepted:
+  // pushes until kExhausted, then retries one RTO later (by which time the
+  // retransmission timer has fired and surviving acks opened the window).
+  // Call once, then run |loop| to quiescence.
+  void StartProducer(int messages, std::uint64_t bytes);
+
+  int accepted() const { return accepted_; }
+
+  Machine machine;
+  FbufSystem fsys;
+  Rpc rpc;
+  ProtocolStack stack;
+  Domain* sender_domain;
+  Domain* receiver_domain;
+  PathId tx_hdr;
+  PathId rx_hdr;
+  PathId data;
+  SwpProtocol sender;
+  SwpProtocol receiver;
+  LossyChannel fwd;  // data direction
+  LossyChannel rev;  // ack direction
+  SinkProtocol sink;
+  EventLoop loop;
+
+ private:
+  SimTime rto_;
+  int target_ = 0;
+  std::uint64_t bytes_ = 0;
+  int accepted_ = 0;
+  std::function<void()> produce_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_FAULT_SWP_WORLD_H_

@@ -64,6 +64,13 @@ Status FbufSystem::Allocate(Domain& originator, PathId path, std::uint64_t bytes
   if (bytes == 0) {
     return Status::kInvalidArgument;
   }
+  // A terminated domain cannot originate: its paths are dead and its
+  // allocators defunct, and the default-allocator fallback must not quietly
+  // resurrect allocation into a tombstone (the frames could never be
+  // reclaimed — DestroyDomain already ran its entry teardown).
+  if (!originator.alive()) {
+    return Status::kInvalidArgument;
+  }
   const std::uint64_t pages = PagesFor(bytes);
   machine_->stats().fbuf_allocs++;
 
@@ -189,6 +196,12 @@ Status FbufSystem::EnsureMaterialized(Fbuf* fb) {
 
 Status FbufSystem::Transfer(Fbuf* fb, Domain& from, Domain& to, bool lazy) {
   if (fb == nullptr || fb->dead) {
+    return Status::kInvalidArgument;
+  }
+  // Transfers into a terminated domain fail cleanly: the kernel would only
+  // have to relinquish the reference again, and mapping work against torn-
+  // down page tables is a use-after-free waiting to happen.
+  if (!to.alive()) {
     return Status::kInvalidArgument;
   }
   if (!fb->IsHeldBy(from.id())) {
@@ -804,6 +817,105 @@ std::size_t FbufSystem::PendingNotices(DomainId holder, DomainId owner) const {
 std::uint32_t FbufSystem::AllocatorChunks(DomainId domain, PathId path) const {
   auto it = allocators_.find(AllocatorKey(domain, path));
   return it == allocators_.end() ? 0 : it->second.chunks;
+}
+
+FbufSystem::AuditCounts FbufSystem::Audit() const {
+  AuditCounts c;
+  // Interval set of current (non-dead) fbufs, for the dangling-mapping scan.
+  std::map<VirtAddr, VirtAddr> extents;  // base -> end
+  for (const auto& fbp : fbufs_) {
+    const Fbuf* fb = fbp.get();
+    if (fb->dead) {
+      c.dead_fbufs++;
+      continue;
+    }
+    extents[fb->base] = fb->end();
+    Domain* orig = machine_->domain(fb->originator);
+    const bool orphaned = orig == nullptr || !orig->alive();
+    if (fb->free_listed) {
+      c.free_listed_fbufs++;
+      if (orphaned) {
+        // §3.3: a dead originator's fbufs drain to destruction; caching one
+        // for reuse would cache memory nobody can ever hand out again.
+        c.free_list_errors++;
+      }
+    } else {
+      c.live_fbufs++;
+      if (orphaned) {
+        c.orphaned_live_fbufs++;
+      }
+    }
+  }
+  for (const auto& [key, a] : allocators_) {
+    for (const auto& [pages, list] : a.free_lists) {
+      for (FbufId id : list) {
+        c.free_list_entries++;
+        const Fbuf* fb = fbufs_[id].get();
+        if (fb->dead || !fb->free_listed || fb->pages != pages || a.defunct) {
+          c.free_list_errors++;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < machine_->domain_count(); ++i) {
+    Domain* dom = machine_->domain(static_cast<DomainId>(i));
+    if (dom == nullptr || !dom->alive()) {
+      continue;
+    }
+    for (const auto& [vpn, entry] : dom->entries()) {
+      const VirtAddr addr = AddrOf(vpn);
+      if (!InFbufRegion(addr) || entry.zero_fill) {
+        continue;  // private mapping, or an absent-data leaf (§3.2.4)
+      }
+      auto it = extents.upper_bound(addr);
+      if (it == extents.begin() || std::prev(it)->second <= addr) {
+        c.dangling_mappings++;
+      }
+    }
+  }
+  return c;
+}
+
+std::uint64_t FbufSystem::LiveFbufCount() const {
+  std::uint64_t n = 0;
+  for (const auto& fbp : fbufs_) {
+    if (!fbp->dead && !fbp->free_listed) {
+      n++;
+    }
+  }
+  return n;
+}
+
+std::uint64_t FbufSystem::FreeListedFbufCount() const {
+  std::uint64_t n = 0;
+  for (const auto& fbp : fbufs_) {
+    if (!fbp->dead && fbp->free_listed) {
+      n++;
+    }
+  }
+  return n;
+}
+
+std::uint64_t FbufSystem::PagesOwnedBy(DomainId d) const {
+  std::uint64_t pages = 0;
+  for (const auto& fbp : fbufs_) {
+    if (!fbp->dead && fbp->originator == d) {
+      pages += fbp->pages;
+    }
+  }
+  return pages;
+}
+
+std::size_t FbufSystem::FreeListSize(DomainId domain, PathId path) const {
+  const auto it = allocators_.find(AllocatorKey(domain, path));
+  if (it == allocators_.end()) {
+    return 0;
+  }
+  std::size_t n = 0;
+  for (const auto& [pages, list] : it->second.free_lists) {
+    n += list.size();
+  }
+  return n;
 }
 
 std::string FbufSystem::DebugDump() const {

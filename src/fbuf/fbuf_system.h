@@ -152,6 +152,33 @@ class FbufSystem {
   std::uint32_t AllocatorChunks(DomainId domain, PathId path) const;
   std::uint64_t RegionFreePages() const { return region_va_.free_bytes() / kPageSize; }
 
+  // --- Leak audit (fault campaigns, §3.3 cleanup rules) -------------------------
+  // Aggregate consistency counts over the fbuf table and the alive domains'
+  // region mappings; every *_errors / dangling / orphaned field must be zero
+  // in a healthy system. O(fbufs + region entries).
+  struct AuditCounts {
+    std::uint64_t live_fbufs = 0;         // allocated, neither free-listed nor dead
+    std::uint64_t free_listed_fbufs = 0;
+    std::uint64_t dead_fbufs = 0;
+    std::uint64_t free_list_entries = 0;
+    // Live fbufs whose originator domain has died: §3.3 requires them to
+    // drain to destruction when their references drop, never to a free list.
+    // Nonzero is legal mid-drain; a free-listed one counts as an error.
+    std::uint64_t orphaned_live_fbufs = 0;
+    // Free-list slots violating their invariants: entry dead, not marked
+    // free_listed, in the wrong size class, or on a defunct allocator.
+    std::uint64_t free_list_errors = 0;
+    // Region mappings of alive domains that point into no current fbuf —
+    // per-domain mappings left dangling after an fbuf was destroyed.
+    std::uint64_t dangling_mappings = 0;
+  };
+  AuditCounts Audit() const;
+  std::uint64_t LiveFbufCount() const;
+  std::uint64_t FreeListedFbufCount() const;
+  // Region pages owned by |d| as originator (live + free-listed fbufs).
+  std::uint64_t PagesOwnedBy(DomainId d) const;
+  std::size_t FreeListSize(DomainId domain, PathId path) const;
+
   // Human-readable snapshot of the whole fbuf system: allocators, live
   // fbufs, free lists, swap residency. For debugging and the examples.
   std::string DebugDump() const;

@@ -76,6 +76,10 @@ class SwpProtocol : public Protocol {
   std::uint64_t delivered_in_order() const { return delivered_in_order_; }
   std::uint64_t timer_fires() const { return timer_fires_; }
   std::uint32_t next_seq() const { return next_seq_; }
+  // Receiver-side out-of-order frames still awaiting their gap (nonzero at
+  // quiescence means delivery wedged — the fault auditor's concern).
+  std::size_t stashed() const { return stash_.size(); }
+  SimTime rto() const { return rto_; }
 
  private:
   Status TransmitData(std::uint32_t seq, const Message& m);
@@ -115,13 +119,17 @@ class LossyChannel : public Protocol {
  public:
   LossyChannel(Domain* domain, ProtocolStack* stack, std::uint64_t seed,
                std::uint32_t drop_percent)
-      : Protocol("lossy-channel", domain, stack), rng_(seed), drop_percent_(drop_percent) {}
+      : Protocol("lossy-channel", domain, stack),
+        rng_(seed),
+        drop_percent_(ClampPercent(drop_percent)) {}
 
   // The protocol whose Pop receives what the *other* side pushes.
   void set_peer_above(Protocol* p) { peer_above_ = p; }
 
   // Reconfigures the loss rate mid-experiment (fault-injection campaigns).
-  void set_drop_percent(std::uint32_t p) { drop_percent_ = p; }
+  // Saturates at 100: beyond-certain loss is a script bug, not a regime.
+  void set_drop_percent(std::uint32_t p) { drop_percent_ = ClampPercent(p); }
+  std::uint32_t drop_percent() const { return drop_percent_; }
 
   Status Push(Message m) override {
     if (rng_.Chance(drop_percent_, 100)) {
@@ -139,6 +147,8 @@ class LossyChannel : public Protocol {
   std::uint64_t forwarded() const { return forwarded_; }
 
  private:
+  static std::uint32_t ClampPercent(std::uint32_t p) { return p > 100 ? 100 : p; }
+
   Rng rng_;
   std::uint32_t drop_percent_;
   Protocol* peer_above_ = nullptr;

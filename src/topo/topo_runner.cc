@@ -371,6 +371,8 @@ MultiResult TopologyRunner::RunFlows(const std::vector<FlowTraffic>& traffic) {
     fr.bytes = run.traffic.messages * run.traffic.bytes;
     fr.pdus_dropped = run.dropped;
     fr.failed = run.failed;
+    fr.completed_messages = run.completed;
+    fr.stalled = !run.failed && run.total > 0 && run.completed < run.total;
     mr.failed = mr.failed || run.failed;
     if (run.total == 0 || run.failed) {
       continue;

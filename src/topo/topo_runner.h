@@ -48,6 +48,12 @@ struct FlowResult {
   std::uint64_t delivered_bytes = 0;
   double goodput_mbps = 0;
   std::uint64_t pdus_dropped = 0;
+  // Fault-campaign observability: messages whose flow-control accounting
+  // completed (warmup included), and whether the run went quiescent with
+  // work left but no failure — a wedged window, which the credit scheme is
+  // supposed to make impossible even under loss.
+  std::uint64_t completed_messages = 0;
+  bool stalled = false;
 };
 
 struct ResourceUse {

@@ -57,7 +57,9 @@ class TopoLink {
     return {arrival, false};
   }
 
-  void set_drop_percent(std::uint32_t p) { drop_percent_ = p; }
+  // Saturates at 100: a drop probability beyond certainty is a script bug,
+  // not a heavier loss regime.
+  void set_drop_percent(std::uint32_t p) { drop_percent_ = p > 100 ? 100 : p; }
   std::uint32_t drop_percent() const { return drop_percent_; }
   std::uint64_t drops() const { return drops_; }
 
@@ -100,6 +102,15 @@ class SwitchNode {
   // A PDU fully received at |arrival| leaves the switch at the returned
   // time, or is dropped (unroutable VCI or full output queue).
   Outcome Forward(std::uint32_t vci, std::uint64_t bytes, SimTime arrival);
+
+  // Runtime queue knob (fault campaigns): PDUs already queued stay; new
+  // arrivals see the new bound. Zero means every arrival is shed.
+  void set_port_queue_limit(std::size_t port, std::size_t pdus) {
+    ports_[port].cfg.queue_pdus = pdus;
+  }
+  std::size_t port_queue_limit(std::size_t port) const {
+    return ports_[port].cfg.queue_pdus;
+  }
 
   const std::string& name() const { return name_; }
   std::size_t port_count() const { return ports_.size(); }

@@ -1,0 +1,334 @@
+// Fault-injection subsystem tests: knob clamping, leak-audit accessors,
+// dead-domain guards, campaign determinism, and §3.3 cleanup under fire —
+// including domain termination with fbufs in flight across a relay chain.
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/fault/campaign.h"
+#include "src/fault/swp_world.h"
+#include "src/topo/topo_config.h"
+
+namespace fbufs {
+namespace {
+
+// --- Knob clamping -----------------------------------------------------------
+
+TEST(FaultKnobs, TopoLinkDropPercentSaturatesAt100) {
+  TopologyConfig cfg;
+  BuiltTopology b = BuildTopology(cfg);
+  TopoLink& link = b.topo->link(0);
+  link.set_drop_percent(250);
+  EXPECT_EQ(link.drop_percent(), 100u);
+  link.set_drop_percent(100);
+  EXPECT_EQ(link.drop_percent(), 100u);
+  link.set_drop_percent(7);
+  EXPECT_EQ(link.drop_percent(), 7u);
+}
+
+TEST(FaultKnobs, LossyChannelDropPercentSaturatesAt100) {
+  SwpWorld w;
+  LossyChannel ch(w.sender_domain, &w.stack, /*seed=*/7, /*drop_percent=*/300);
+  EXPECT_EQ(ch.drop_percent(), 100u);
+  ch.set_drop_percent(101);
+  EXPECT_EQ(ch.drop_percent(), 100u);
+  ch.set_drop_percent(40);
+  EXPECT_EQ(ch.drop_percent(), 40u);
+}
+
+TEST(FaultKnobs, SwitchQueueLimitIsRuntimeAdjustable) {
+  SwitchNode sw("sw", {SwitchPortConfig{}});
+  sw.Route(42, 0);
+  sw.set_port_queue_limit(0, 0);
+  EXPECT_EQ(sw.port_queue_limit(0), 0u);
+  EXPECT_TRUE(sw.Forward(42, 1000, 0).dropped);
+  EXPECT_EQ(sw.port_drops(0), 1u);
+  sw.set_port_queue_limit(0, 4);
+  EXPECT_FALSE(sw.Forward(42, 1000, 0).dropped);
+}
+
+// --- Leak-audit accessors ----------------------------------------------------
+
+struct AuditWorld {
+  AuditWorld() : machine(MachineConfig{}), fsys(&machine), rpc(&machine) {
+    fsys.AttachRpc(&rpc);
+    src = machine.CreateDomain("src");
+    dst = machine.CreateDomain("dst");
+    path = fsys.paths().Register({src->id(), dst->id()});
+  }
+  Machine machine;
+  FbufSystem fsys;
+  Rpc rpc;
+  Domain* src = nullptr;
+  Domain* dst = nullptr;
+  PathId path = kNoPath;
+};
+
+TEST(FbufAudit, AccessorsTrackTheFbufLifecycle) {
+  AuditWorld w;
+  Fbuf* a = nullptr;
+  Fbuf* b = nullptr;
+  ASSERT_TRUE(Ok(w.fsys.Allocate(*w.src, w.path, kPageSize, true, &a)));
+  ASSERT_TRUE(Ok(w.fsys.Allocate(*w.src, w.path, kPageSize, true, &b)));
+  EXPECT_EQ(w.fsys.LiveFbufCount(), 2u);
+  EXPECT_EQ(w.fsys.FreeListedFbufCount(), 0u);
+  EXPECT_EQ(w.fsys.PagesOwnedBy(w.src->id()), 2u);
+  EXPECT_EQ(w.fsys.FreeListSize(w.src->id(), w.path), 0u);
+
+  ASSERT_TRUE(Ok(w.fsys.Transfer(a, *w.src, *w.dst)));
+  // Receiver releases first so the *originator* makes the final release and
+  // the fbuf free-lists immediately (a receiver's final release would park
+  // it in the batched dealloc-notice queue instead).
+  ASSERT_TRUE(Ok(w.fsys.Free(a, *w.dst)));
+  ASSERT_TRUE(Ok(w.fsys.Free(a, *w.src)));
+  ASSERT_TRUE(Ok(w.fsys.Free(b, *w.src)));
+  EXPECT_EQ(w.fsys.LiveFbufCount(), 0u);
+  EXPECT_EQ(w.fsys.FreeListedFbufCount(), 2u);
+  EXPECT_EQ(w.fsys.FreeListSize(w.src->id(), w.path), 2u);
+  EXPECT_EQ(w.fsys.PagesOwnedBy(w.src->id()), 2u);  // cached, still owned
+
+  const FbufSystem::AuditCounts c = w.fsys.Audit();
+  EXPECT_EQ(c.free_list_entries, 2u);
+  EXPECT_EQ(c.free_list_errors, 0u);
+  EXPECT_EQ(c.dangling_mappings, 0u);
+  EXPECT_EQ(c.orphaned_live_fbufs, 0u);
+
+  // Terminating the originator destroys its free lists and the cached
+  // fbufs on them; nothing may linger.
+  w.machine.DestroyDomain(w.src->id());
+  EXPECT_EQ(w.fsys.FreeListedFbufCount(), 0u);
+  EXPECT_EQ(w.fsys.FreeListSize(w.src->id(), w.path), 0u);
+  EXPECT_EQ(w.fsys.PagesOwnedBy(w.src->id()), 0u);
+  const FbufSystem::AuditCounts after = w.fsys.Audit();
+  EXPECT_EQ(after.free_list_errors, 0u);
+  EXPECT_EQ(after.dangling_mappings, 0u);
+}
+
+TEST(FbufAudit, AllocateIntoTerminatedDomainFails) {
+  AuditWorld w;
+  w.machine.DestroyDomain(w.src->id());
+  Fbuf* fb = nullptr;
+  EXPECT_EQ(w.fsys.Allocate(*w.src, kNoPath, kPageSize, true, &fb),
+            Status::kInvalidArgument);
+  EXPECT_EQ(fb, nullptr);
+  EXPECT_EQ(w.fsys.LiveFbufCount(), 0u);
+}
+
+TEST(FbufAudit, TransferToTerminatedDomainFailsCleanly) {
+  AuditWorld w;
+  Fbuf* fb = nullptr;
+  ASSERT_TRUE(Ok(w.fsys.Allocate(*w.src, w.path, kPageSize, true, &fb)));
+  w.machine.DestroyDomain(w.dst->id());
+  EXPECT_EQ(w.fsys.Transfer(fb, *w.src, *w.dst), Status::kInvalidArgument);
+  ASSERT_TRUE(Ok(w.fsys.Free(fb, *w.src)));
+  const FbufSystem::AuditCounts c = w.fsys.Audit();
+  EXPECT_EQ(c.dangling_mappings, 0u);
+  EXPECT_EQ(c.orphaned_live_fbufs, 0u);
+}
+
+TEST(FbufAudit, HostAuditIsCleanOnAHealthyWorld) {
+  AuditWorld w;
+  Fbuf* fb = nullptr;
+  ASSERT_TRUE(Ok(w.fsys.Allocate(*w.src, w.path, 2 * kPageSize, true, &fb)));
+  w.src->TouchRange(fb->base, 2 * kPageSize, Access::kWrite);
+  ASSERT_TRUE(Ok(w.fsys.Transfer(fb, *w.src, *w.dst)));
+  w.dst->TouchRange(fb->base, 2 * kPageSize, Access::kRead);
+  const HostAuditResult mid =
+      InvariantAuditor::AuditHost("host", w.machine, w.fsys);
+  EXPECT_TRUE(mid.passed);
+  EXPECT_EQ(mid.leaked_frames, 0u);
+  EXPECT_EQ(mid.refcount_mismatches, 0u);
+  ASSERT_TRUE(Ok(w.fsys.Free(fb, *w.src)));
+  ASSERT_TRUE(Ok(w.fsys.Free(fb, *w.dst)));
+  const HostAuditResult done =
+      InvariantAuditor::AuditHost("host", w.machine, w.fsys);
+  EXPECT_TRUE(done.passed);
+}
+
+// --- Campaigns ---------------------------------------------------------------
+
+void AuditAllHosts(CampaignRunner* cr, BuiltTopology* b) {
+  for (NodeId n = 0; n < b->topo->node_count(); ++n) {
+    if (!b->topo->is_switch(n)) {
+      SimHost* h = b->topo->host(n);
+      cr->AddAuditedHost(h->machine.name(), &h->machine, &h->fsys);
+    }
+  }
+}
+
+struct TerminateOutcome {
+  std::string json;
+  bool report_passed = false;
+  bool flow_failed = false;
+  bool flow_stalled = false;
+  std::uint64_t sink_bytes = 0;
+};
+
+// Relay chain, one relay; terminates the domain named |victim| on the chosen
+// host mid-flow and returns the campaign verdict.
+TerminateOutcome RunTerminateCampaign(bool terminate_relay,
+                                      std::uint64_t pdu_size,
+                                      std::uint64_t message_bytes,
+                                      std::uint64_t messages,
+                                      SimTime terminate_at) {
+  TopologyConfig cfg;
+  cfg.shape = TopologyShape::kRelayChain;
+  cfg.relays = 1;
+  cfg.host.pdu_size = pdu_size;
+  BuiltTopology b = BuildTopology(cfg);
+
+  CampaignRunner cr("test_terminate", cfg.seed, b.loop.get());
+  cr.AttachTopology(b.topo.get(), b.runner.get());
+  AuditAllHosts(&cr, &b);
+
+  FaultSchedule s;
+  FaultAction a;
+  a.kind = FaultAction::Kind::kTerminateDomain;
+  a.at = terminate_at;
+  a.node = terminate_relay ? b.relay_nodes[0] : b.sender_nodes[0];
+  a.domain = "app";
+  a.label = terminate_relay ? "terminate/relay-app" : "terminate/sender-app";
+  s.Add(a);
+  cr.Arm(s);
+  cr.ScheduleAudit(terminate_at, "post-terminate");
+
+  std::vector<FlowTraffic> traffic(1);
+  traffic[0].messages = messages;
+  traffic[0].bytes = message_bytes;
+  traffic[0].warmup = 2;
+  const MultiResult mr = b.runner->RunFlows(traffic);
+
+  TerminateOutcome out;
+  out.flow_failed = mr.flows[0].failed;
+  out.flow_stalled = mr.flows[0].stalled;
+  out.sink_bytes = b.runner->flow_sink(0).bytes_received();
+  CampaignReport report = cr.Finish();
+  out.report_passed = report.audits_passed();
+  out.json = report.ToJson();
+  return out;
+}
+
+TEST(Campaigns, TerminateOriginatorMidFlowPassesInvariantAudit) {
+  // ~3.3 ms/message end-to-end on the relay chain: 8 ms lets a couple of
+  // messages land before the axe falls.
+  const TerminateOutcome out = RunTerminateCampaign(
+      /*terminate_relay=*/false, /*pdu=*/16 * 1024,
+      /*message_bytes=*/16 * 1024, /*messages=*/30,
+      /*terminate_at=*/8 * kMillisecond);
+  // The flow fails cleanly (allocation in the dead originator is refused),
+  // data already delivered survives at the receiver, and every host —
+  // including the one with the terminated domain — audits leak-free.
+  EXPECT_TRUE(out.flow_failed);
+  EXPECT_FALSE(out.flow_stalled);
+  EXPECT_GT(out.sink_bytes, 0u);
+  EXPECT_TRUE(out.report_passed);
+}
+
+TEST(Campaigns, TerminateRelayWithFbufsInFlightFailsCleanly) {
+  // 4 KB PDUs carrying 16 KB messages: every message is mid-reassembly on
+  // the relay while its fragments cross, so termination catches fbufs in
+  // flight (retained reassembly references, partially forwarded messages).
+  // §3.3: the transfer into the dead domain is refused, the flow fails
+  // cleanly — no use-after-free (ASan job) and no leaked frames.
+  const TerminateOutcome out = RunTerminateCampaign(
+      /*terminate_relay=*/true, /*pdu=*/4 * 1024,
+      /*message_bytes=*/16 * 1024, /*messages=*/30,
+      /*terminate_at=*/8 * kMillisecond);
+  EXPECT_TRUE(out.flow_failed);
+  EXPECT_FALSE(out.flow_stalled);
+  EXPECT_GT(out.sink_bytes, 0u);
+  EXPECT_TRUE(out.report_passed);
+}
+
+TEST(Campaigns, SameSeedProducesByteIdenticalReports) {
+  const TerminateOutcome first = RunTerminateCampaign(
+      false, 16 * 1024, 16 * 1024, 20, 1 * kMillisecond);
+  const TerminateOutcome second = RunTerminateCampaign(
+      false, 16 * 1024, 16 * 1024, 20, 1 * kMillisecond);
+  EXPECT_EQ(first.json, second.json);
+  EXPECT_FALSE(first.json.empty());
+}
+
+TEST(Campaigns, AckPathOnlyLossRecoversWithoutCopies) {
+  SwpWorldConfig wc;
+  SwpWorld w(wc);
+  CampaignRunner cr("test_ack_loss", 0, &w.loop);
+  cr.AttachSwp(&w.sender, &w.receiver, &w.fwd, &w.rev, &w.sink, &w.machine);
+  cr.AddAuditedHost(w.machine.name(), &w.machine, &w.fsys);
+
+  FaultSchedule s;
+  FaultAction a;
+  a.kind = FaultAction::Kind::kAckPathOnlyLoss;
+  // A lossless run completes synchronously at loop time zero, so the window
+  // must open at t=0 (Arm precedes the producer's first event) to bite.
+  a.at = 0;
+  a.duration = 6 * kMillisecond;
+  a.percent = 50;
+  a.label = "ack-loss";
+  s.Add(a);
+  cr.Arm(s);
+
+  constexpr int kMessages = 24;
+  w.StartProducer(kMessages, 32 * 1024);
+  w.loop.Run();
+
+  EXPECT_EQ(w.accepted(), kMessages);
+  // The data path never lost a frame: every retransmission the ack loss
+  // provoked arrived as a duplicate.
+  EXPECT_EQ(w.fwd.dropped(), 0u);
+  EXPECT_GT(w.rev.dropped(), 0u);
+  CampaignReport report = cr.Finish();
+  EXPECT_TRUE(report.audits_passed());
+  const CampaignReport::AuditEntry& final_audit = report.audits().back();
+  ASSERT_TRUE(final_audit.has_swp);
+  EXPECT_FALSE(final_audit.swp.window_wedged);
+  EXPECT_EQ(final_audit.swp.bytes_copied, 0u);
+}
+
+TEST(Campaigns, LinkFaultsRestoreTheirPriorValues) {
+  TopologyConfig cfg;
+  cfg.shape = TopologyShape::kFanInSwitch;
+  cfg.senders = 2;
+  BuiltTopology b = BuildTopology(cfg);
+  CampaignRunner cr("test_restore", cfg.seed, b.loop.get());
+  cr.AttachTopology(b.topo.get(), b.runner.get());
+  AuditAllHosts(&cr, &b);
+
+  FaultSchedule s;
+  FaultAction burst;
+  burst.kind = FaultAction::Kind::kLossBurst;
+  burst.at = kMillisecond;
+  burst.duration = 2 * kMillisecond;
+  burst.link = b.sender_links[0];
+  burst.percent = 30;
+  burst.label = "burst";
+  s.Add(burst);
+  FaultAction squeeze;
+  squeeze.kind = FaultAction::Kind::kSqueezeSwitchQueue;
+  squeeze.at = kMillisecond;
+  squeeze.duration = 2 * kMillisecond;
+  squeeze.node = b.switch_node;
+  squeeze.queue_pdus = 1;
+  squeeze.label = "squeeze";
+  s.Add(squeeze);
+  cr.Arm(s);
+
+  const std::size_t prior_queue = b.topo->switch_at(b.switch_node)
+                                      ->port_queue_limit(0);
+  std::vector<FlowTraffic> traffic(2);
+  for (FlowTraffic& t : traffic) {
+    t.messages = 40;
+    t.bytes = cfg.host.pdu_size;
+    t.warmup = 2;
+  }
+  const MultiResult mr = b.runner->RunFlows(traffic);
+  EXPECT_FALSE(mr.failed);
+  EXPECT_EQ(b.topo->link(b.sender_links[0]).drop_percent(), 0u);
+  EXPECT_EQ(b.topo->switch_at(b.switch_node)->port_queue_limit(0), prior_queue);
+  CampaignReport report = cr.Finish();
+  EXPECT_TRUE(report.audits_passed());
+}
+
+}  // namespace
+}  // namespace fbufs
