@@ -1,7 +1,7 @@
 // Fault-injection campaign driver: scripted failures against live worlds,
 // with §3.3 cleanup rules audited under fire.
 //
-// Four named campaigns, each writing CAMPAIGN_<name>.json:
+// Five named campaigns, each writing CAMPAIGN_<name>.json:
 //
 //   loss_burst           — two senders fan in through one switch port; a 30%
 //                          loss burst hits one uplink, the trunk flaps dark,
@@ -22,9 +22,15 @@
 //                          flow fails cleanly, receiver-side data survives,
 //                          and the terminated host audits with zero leaked
 //                          frames and zero dangling mappings.
+//   hoarder              — a third domain pins nearly the whole physical
+//                          pool; the SWP producer parks on the shared
+//                          backoff under exhaustion. Terminating the
+//                          hoarder reclaims its entire quota (§3.3), the
+//                          producer resumes, and the run drains clean.
 //
 // Everything is deterministic: same seed and schedule produce byte-identical
 // JSON. --smoke scales message counts and fault times down for CI.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -276,6 +282,70 @@ CampaignReport RunTerminateOriginator() {
   return cr.Finish();
 }
 
+// --- Campaign 5: terminate a hoarding domain, reclaiming its quota -----------
+
+CampaignReport RunHoarder() {
+  SwpWorldConfig wc;
+  wc.phys_frames = 512;
+  SwpWorld w(wc);
+
+  CampaignRunner cr("hoarder", wc.fwd_seed ^ wc.rev_seed, &w.loop);
+  cr.AttachSwp(&w.sender, &w.receiver, &w.fwd, &w.rev, &w.sink, &w.machine);
+  cr.AddAuditedHost(w.machine.name(), &w.machine, &w.fsys);
+
+  // Before any traffic, a third domain grabs nearly the whole pool in
+  // chunk-sized uncached fbufs, leaving fewer free frames than one data
+  // message needs. The producer's first allocation fails and it parks on
+  // the shared backoff.
+  Domain* hoarder = w.machine.CreateDomain("hoarder");
+  constexpr std::uint32_t kHeadroom = 6;
+  while (w.machine.pmem().free_frames() > kHeadroom) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(w.machine.pmem().free_frames() - kHeadroom,
+                                w.fsys.config().chunk_pages);
+    Fbuf* fb = nullptr;
+    if (!Ok(w.fsys.Allocate(*hoarder, kNoPath, take * kPageSize, false, &fb)) ||
+        !Ok(hoarder->TouchRange(fb->base, take * kPageSize, Access::kWrite))) {
+      if (fb != nullptr) {
+        w.fsys.Free(fb, *hoarder);
+      }
+      break;
+    }
+    // The hoarder never frees: only its termination can give the frames back.
+  }
+  const DomainId hoarder_id = hoarder->id();
+  const std::uint64_t hoarded = w.fsys.PagesOwnedBy(hoarder_id);
+
+  FaultSchedule s;
+  s.name = "hoarder";
+  // Absolute, NOT smoke-scaled: the producer's backoff ramp (one RTO, then
+  // doubling) must visibly fail a few times before the axe falls, whatever
+  // the traffic volume.
+  constexpr SimTime kAxe = 10 * kMillisecond;
+  s.Add({.kind = FaultAction::Kind::kTerminateDomain,
+         .at = kAxe,
+         .domain = "hoarder",
+         .label = "terminate/hoarder"});
+  cr.Arm(s);
+  // Immediately after the kernel's §3.3 cleanup reclaimed the hoard.
+  cr.ScheduleAudit(kAxe, "post-terminate");
+
+  const int messages = static_cast<int>(96 / g_scale);
+  w.StartProducer(messages, 32 * 1024);
+  w.loop.Run();
+
+  const bool drained = w.accepted() == messages && !w.producer_stalled() &&
+                       !w.producer_failed();
+  const bool reclaimed = w.fsys.PagesOwnedBy(hoarder_id) == 0;
+  const bool ok = drained && reclaimed && hoarded > 0 && w.producer_parks() > 0;
+  cr.SetOutcome(
+      ok, ok ? "producer parked under exhaustion, resumed after the hoarder's "
+               "termination returned its " +
+                   std::to_string(hoarded) + " pages, and drained"
+             : "expected park -> terminate -> full quota reclaim -> drain");
+  return cr.Finish();
+}
+
 int Main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -287,7 +357,8 @@ int Main(int argc, char** argv) {
 
   bool all_passed = true;
   const std::vector<CampaignReport> reports = {
-      RunLossBurst(), RunAckOnlyLoss(), RunRtoSweep(), RunTerminateOriginator()};
+      RunLossBurst(), RunAckOnlyLoss(), RunRtoSweep(), RunTerminateOriginator(),
+      RunHoarder()};
   for (const CampaignReport& r : reports) {
     PrintReport(r);
     r.Write();

@@ -16,6 +16,7 @@ Status CopyTransfer::Alloc(Domain& originator, std::uint64_t bytes, BufferRef* r
                                                 /*eager=*/true, /*clear=*/true,
                                                 ChargeMode::kGeneral);
   if (!Ok(st)) {
+    originator.aspace().Free(*va, pages);
     return st;
   }
   ref->sender_addr = *va;
@@ -40,6 +41,7 @@ Status CopyTransfer::ReceiverBuffer(Domain& to, std::uint64_t pages, VirtAddr* a
                                                 /*eager=*/true, /*clear=*/true,
                                                 ChargeMode::kGeneral);
   if (!Ok(st)) {
+    to.aspace().Free(*va, pages);
     return st;
   }
   pool_[{to.id(), pages}] = *va;

@@ -33,6 +33,7 @@ Status FileCache::FetchFromDisk(const Key& key, Message* out) {
   for (std::uint64_t page = 0; page < fb->pages; ++page) {
     const FrameId frame = kernel_->DebugFrame(PageOf(fb->base) + page);
     if (frame == kInvalidFrame) {
+      fsys_->Free(fb, *kernel_);
       return Status::kNotMapped;
     }
     std::uint8_t* data = machine.pmem().Data(frame);
@@ -45,7 +46,7 @@ Status FileCache::FetchFromDisk(const Key& key, Message* out) {
   return Status::kOk;
 }
 
-bool FileCache::Evict(const Key& key) {
+bool FileCache::Evict(const Key& key, EvictReason reason) {
   auto it = blocks_.find(key);
   if (it == blocks_.end()) {
     return false;
@@ -55,7 +56,17 @@ bool FileCache::Evict(const Key& key) {
   }
   lru_.erase(it->second.lru_pos);
   blocks_.erase(it);
-  evictions_++;
+  switch (reason) {
+    case EvictReason::kCapacity:
+      capacity_evictions_++;
+      break;
+    case EvictReason::kOverwrite:
+      overwrite_evictions_++;
+      break;
+    case EvictReason::kPressure:
+      pressure_evictions_++;
+      break;
+  }
   return true;
 }
 
@@ -65,7 +76,7 @@ Status FileCache::Read(FileId file, std::uint64_t block, Domain& reader, Message
   if (it == blocks_.end()) {
     misses_++;
     while (blocks_.size() >= config_.capacity_blocks) {
-      Evict(lru_.back());
+      Evict(lru_.back(), EvictReason::kCapacity);
     }
     Message fetched;
     const Status st = FetchFromDisk(key, &fetched);
@@ -117,13 +128,11 @@ Status FileCache::Write(FileId file, std::uint64_t block, Domain& writer, const 
     }
   }
   const Key key{file, block};
-  if (Evict(key)) {
-    evictions_--;  // an overwrite, not memory pressure
-  }
+  Evict(key, EvictReason::kOverwrite);
   lru_.push_front(key);
   blocks_.emplace(key, CachedBlock{m, lru_.begin()});
   while (blocks_.size() > config_.capacity_blocks) {
-    Evict(lru_.back());
+    Evict(lru_.back(), EvictReason::kCapacity);
   }
   return Status::kOk;
 }
@@ -131,7 +140,7 @@ Status FileCache::Write(FileId file, std::uint64_t block, Domain& writer, const 
 std::uint64_t FileCache::Shrink(std::uint64_t target_blocks) {
   std::uint64_t evicted = 0;
   while (blocks_.size() > target_blocks) {
-    Evict(lru_.back());
+    Evict(lru_.back(), EvictReason::kPressure);
     evicted++;
   }
   return evicted;

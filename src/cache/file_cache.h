@@ -60,12 +60,19 @@ class FileCache {
   Status Write(FileId file, std::uint64_t block, Domain& writer, const Message& m);
 
   // Drops clean blocks, least recently used first, until at most
-  // |target_blocks| remain. Returns blocks evicted.
+  // |target_blocks| remain (a pressure-driven eviction). Returns blocks
+  // evicted.
   std::uint64_t Shrink(std::uint64_t target_blocks);
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
-  std::uint64_t evictions() const { return evictions_; }
+  // Memory-driven evictions: capacity + pressure. Overwrites drop the old
+  // block too, but that is content replacement, not memory reclaim, so they
+  // are counted separately.
+  std::uint64_t evictions() const { return capacity_evictions_ + pressure_evictions_; }
+  std::uint64_t capacity_evictions() const { return capacity_evictions_; }
+  std::uint64_t overwrite_evictions() const { return overwrite_evictions_; }
+  std::uint64_t pressure_evictions() const { return pressure_evictions_; }
   std::uint64_t disk_reads() const { return disk_reads_; }
   std::uint64_t resident_blocks() const { return blocks_.size(); }
 
@@ -85,10 +92,13 @@ class FileCache {
     std::list<Key>::iterator lru_pos;
   };
 
+  // Why a block is being dropped; each reason has its own counter.
+  enum class EvictReason { kCapacity, kOverwrite, kPressure };
+
   void TouchLru(const Key& key, CachedBlock& cb);
   Status FetchFromDisk(const Key& key, Message* out);
   // Returns true if the block was resident and got dropped.
-  bool Evict(const Key& key);
+  bool Evict(const Key& key, EvictReason reason);
 
   FbufSystem* fsys_;
   FileCacheConfig config_;
@@ -99,7 +109,9 @@ class FileCache {
 
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  std::uint64_t capacity_evictions_ = 0;
+  std::uint64_t overwrite_evictions_ = 0;
+  std::uint64_t pressure_evictions_ = 0;
   std::uint64_t disk_reads_ = 0;
 };
 

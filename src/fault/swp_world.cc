@@ -4,8 +4,16 @@
 
 namespace fbufs {
 
+namespace {
+MachineConfig MachineFor(const SwpWorldConfig& cfg) {
+  MachineConfig m;
+  m.phys_frames = cfg.phys_frames;
+  return m;
+}
+}  // namespace
+
 SwpWorld::SwpWorld(const SwpWorldConfig& cfg)
-    : machine(MachineConfig{}),
+    : machine(MachineFor(cfg)),
       fsys(&machine),
       rpc(&machine),
       stack(&machine, &fsys, &rpc),
@@ -29,6 +37,14 @@ SwpWorld::SwpWorld(const SwpWorldConfig& cfg)
   receiver.set_above(&sink);
   sender.AttachTimer(&loop, cfg.rto);
   fsys.AttachEventLoop(&loop);
+  // The shared backoff, parameterized by the protocol's own timescale: the
+  // first retry lands one RTO out (matching the retransmission timer), and
+  // the ramp caps early enough that the producer probes a recovering pool
+  // promptly.
+  backoff_.policy.initial = cfg.rto;
+  backoff_.policy.multiplier = 2;
+  backoff_.policy.cap = 8 * cfg.rto;
+  backoff_.stall_horizon = cfg.stall_horizon;
 }
 
 void SwpWorld::StartProducer(int messages, std::uint64_t bytes) {
@@ -37,19 +53,36 @@ void SwpWorld::StartProducer(int messages, std::uint64_t bytes) {
   produce_ = [this] {
     while (accepted_ < target_) {
       Fbuf* fb = nullptr;
-      if (!Ok(fsys.Allocate(*sender_domain, data, bytes_, true, &fb))) {
-        return;
+      Status st = fsys.Allocate(*sender_domain, data, bytes_, true, &fb);
+      if (Ok(st)) {
+        st = sender_domain->TouchRange(fb->base, bytes_, Access::kWrite);
+        if (Ok(st)) {
+          st = sender.Push(Message::Whole(fb));
+        }
+        // The producer's reference always drops, push or no push.
+        const Status free_st = fsys.Free(fb, *sender_domain);
+        if (Ok(st) && !Ok(free_st)) {
+          st = free_st;
+        }
       }
-      sender_domain->TouchRange(fb->base, bytes_, Access::kWrite);
-      const Status st = sender.Push(Message::Whole(fb));
-      fsys.Free(fb, *sender_domain);
-      if (st == Status::kOk) {
+      if (Ok(st)) {
         accepted_++;
-      } else {
-        loop.Schedule(std::max(loop.Now(), machine.clock().Now() + rto_),
-                      "swp-produce", produce_);
+        backoff_.Progress(loop.Now());
+        continue;
+      }
+      if (!IsBackpressure(st)) {
+        // Hard error (dead domain, protection): retrying cannot help.
+        producer_failed_ = true;
         return;
       }
+      const auto delay = backoff_.Park(loop.Now());
+      if (!delay.has_value()) {
+        return;  // watchdog: no progress inside the horizon — give up
+      }
+      parks_++;
+      loop.Schedule(std::max(loop.Now(), machine.clock().Now()) + *delay,
+                    "swp-produce", produce_);
+      return;
     }
   };
   loop.Schedule(loop.Now(), "swp-produce", produce_);

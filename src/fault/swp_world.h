@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/pressure/backoff.h"
 #include "src/proto/swp.h"
 #include "src/proto/test_protocols.h"
 #include "src/sim/event_loop.h"
@@ -27,18 +28,31 @@ struct SwpWorldConfig {
   std::uint64_t rev_seed = 13;
   std::uint32_t fwd_loss = 0;  // data-direction drop percent
   std::uint32_t rev_loss = 0;  // ack-direction drop percent
+  // Simulated physical memory (pressure campaigns shrink this).
+  std::uint32_t phys_frames = 16384;
+  // Producer stall watchdog: no accepted message for this long (loop time)
+  // fails the producer instead of retrying forever.
+  SimTime stall_horizon = 250 * kMillisecond;
 };
 
 struct SwpWorld {
   explicit SwpWorld(const SwpWorldConfig& cfg = SwpWorldConfig());
 
-  // Keeps the window full until |messages| of |bytes| each were accepted:
-  // pushes until kExhausted, then retries one RTO later (by which time the
-  // retransmission timer has fired and surviving acks opened the window).
+  // Keeps the window full until |messages| of |bytes| each were accepted.
+  // Backpressure (window full, pool exhausted, quota) parks the producer on
+  // the shared capped-exponential backoff (initial delay = one RTO, by which
+  // time the retransmission timer has fired and surviving acks opened the
+  // window) and retries; the stall watchdog fails it after |stall_horizon|
+  // without progress. Hard errors stop it immediately.
   // Call once, then run |loop| to quiescence.
   void StartProducer(int messages, std::uint64_t bytes);
 
   int accepted() const { return accepted_; }
+  std::uint64_t producer_parks() const { return parks_; }
+  // Watchdog verdict: the producer gave up without reaching its target.
+  bool producer_stalled() const { return backoff_.stalled; }
+  // A non-backpressure error stopped the producer.
+  bool producer_failed() const { return producer_failed_; }
 
   Machine machine;
   FbufSystem fsys;
@@ -61,6 +75,9 @@ struct SwpWorld {
   int target_ = 0;
   std::uint64_t bytes_ = 0;
   int accepted_ = 0;
+  FlowBackoff backoff_;
+  std::uint64_t parks_ = 0;
+  bool producer_failed_ = false;
   std::function<void()> produce_;
 };
 

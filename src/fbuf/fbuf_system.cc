@@ -42,6 +42,11 @@ Status FbufSystem::GrowAllocator(Allocator& a, std::uint64_t pages) {
   if (a.chunks + chunks_needed > config_.chunk_quota) {
     return Status::kQuotaExceeded;
   }
+  // Per-path page quota: a cached path's allocator may not grow past it.
+  if (config_.path_page_quota > 0 && a.cached &&
+      (a.chunks + chunks_needed) * config_.chunk_pages > config_.path_page_quota) {
+    return Status::kQuotaExceeded;
+  }
   const std::uint64_t grant_pages = chunks_needed * config_.chunk_pages;
   auto base = region_va_.Allocate(grant_pages);
   if (!base.has_value()) {
@@ -71,8 +76,25 @@ Status FbufSystem::Allocate(Domain& originator, PathId path, std::uint64_t bytes
   if (!originator.alive()) {
     return Status::kInvalidArgument;
   }
-  const std::uint64_t pages = PagesFor(bytes);
   machine_->stats().fbuf_allocs++;
+  // The watermark check: crossing the pool's high-pressure mark schedules an
+  // evented reclamation sweep, so free lists and clean cache blocks drain
+  // before allocations start failing.
+  if (pressure_ != nullptr) {
+    pressure_->OnAllocate();
+  }
+  Status st = AllocateInternal(originator, path, bytes, want_volatile, out, clear_pages);
+  if ((st == Status::kNoMemory || st == Status::kNoVirtualSpace) && pressure_ != nullptr &&
+      pressure_->OnAllocationFailure(PagesFor(bytes)) > 0) {
+    // The emergency sweep found something to give back: one retry.
+    st = AllocateInternal(originator, path, bytes, want_volatile, out, clear_pages);
+  }
+  return st;
+}
+
+Status FbufSystem::AllocateInternal(Domain& originator, PathId path, std::uint64_t bytes,
+                                    bool want_volatile, Fbuf** out, bool clear_pages) {
+  const std::uint64_t pages = PagesFor(bytes);
 
   // Resolve the data path: unknown/dead paths, or paths this domain does not
   // originate, fall back to the default (uncached) allocator.
@@ -106,11 +128,30 @@ Status FbufSystem::Allocate(Domain& originator, PathId path, std::uint64_t bytes
       fb->holders.push_back(originator.id());
       const Status st = EnsureMaterialized(fb);
       if (!Ok(st)) {
+        // Roll the reuse back: the fbuf returns to its free-list slot (any
+        // pages materialized before the failure keep their frames — a
+        // free-listed fbuf may be partially resident). Without this the
+        // fbuf would be neither free-listed nor handed out: a leak.
+        fb->holders.pop_back();
+        fb->free_listed = true;
+        if (config_.lifo_free_lists) {
+          it->second.push_back(reuse_id);
+        } else {
+          it->second.insert(it->second.begin(), reuse_id);
+        }
         return st;
       }
+      a.last_alloc = machine_->clock().Now();
       *out = fb;
       return Status::kOk;
     }
+  }
+
+  // Carving grows the domain's footprint: charge the quota (shrinking the
+  // domain's own free lists first if that is what stands in the way).
+  const Status quota_st = ChargeQuota(originator, pages);
+  if (!Ok(quota_st)) {
+    return quota_st;
   }
 
   // Carve a new fbuf out of the allocator's chunks.
@@ -149,9 +190,110 @@ Status FbufSystem::Allocate(Domain& originator, PathId path, std::uint64_t bytes
     return st;
   }
   machine_->trace().Emit(TraceCategory::kFbuf, "alloc-carve", fb->id, fb->base);
+  a.last_alloc = machine_->clock().Now();
+  owned_pages_[originator.id()] += pages;
   *out = fb.get();
   fbufs_.push_back(std::move(fb));
   return Status::kOk;
+}
+
+void FbufSystem::SetDomainQuota(DomainId d, std::uint64_t pages) {
+  if (pages == 0) {
+    quota_overrides_.erase(d);
+  } else {
+    quota_overrides_[d] = pages;
+  }
+}
+
+std::uint64_t FbufSystem::DomainQuotaFor(DomainId d) const {
+  const auto it = quota_overrides_.find(d);
+  return it != quota_overrides_.end() ? it->second : config_.domain_page_quota;
+}
+
+std::uint64_t FbufSystem::DomainPagesInUse(DomainId d) const {
+  const auto it = owned_pages_.find(d);
+  return it != owned_pages_.end() ? it->second : 0;
+}
+
+Status FbufSystem::ChargeQuota(Domain& d, std::uint64_t pages) {
+  const std::uint64_t quota = DomainQuotaFor(d.id());
+  if (quota == 0) {
+    return Status::kOk;
+  }
+  std::uint64_t in_use = DomainPagesInUse(d.id());
+  if (in_use + pages <= quota) {
+    return Status::kOk;
+  }
+  // The domain's own cached-but-idle fbufs count against it; give those back
+  // before refusing the allocation.
+  ShrinkDomainFreeLists(d.id(), in_use + pages - quota);
+  in_use = DomainPagesInUse(d.id());
+  return in_use + pages <= quota ? Status::kOk : Status::kQuotaExceeded;
+}
+
+std::uint64_t FbufSystem::ShrinkDomainFreeLists(DomainId d, std::uint64_t pages_needed) {
+  std::uint64_t released = 0;
+  for (auto& [key, a] : allocators_) {
+    if (a.domain != d) {
+      continue;
+    }
+    for (auto& [pages, list] : a.free_lists) {
+      // Coldest first: the front of each list is the least recently freed.
+      while (!list.empty() && released < pages_needed) {
+        const FbufId id = list.front();
+        list.erase(list.begin());
+        Fbuf* fb = fbufs_[id].get();
+        if (fb->dead || !fb->free_listed) {
+          continue;
+        }
+        fb->free_listed = false;
+        released += fb->pages;
+        DestroyFbuf(fb);
+      }
+      if (released >= pages_needed) {
+        break;
+      }
+    }
+    if (released >= pages_needed) {
+      break;
+    }
+  }
+  return released;
+}
+
+std::uint64_t FbufSystem::ShrinkIdlePaths(SimTime idle_ns) {
+  const SimTime now = machine_->clock().Now();
+  std::uint64_t released = 0;
+  for (auto& [key, a] : allocators_) {
+    if (!a.cached || a.defunct || now - a.last_alloc < idle_ns) {
+      continue;
+    }
+    for (auto& [pages, list] : a.free_lists) {
+      while (!list.empty()) {
+        const FbufId id = list.front();
+        list.erase(list.begin());
+        Fbuf* fb = fbufs_[id].get();
+        if (fb->dead || !fb->free_listed) {
+          continue;
+        }
+        fb->free_listed = false;
+        released += fb->pages;
+        DestroyFbuf(fb);
+      }
+    }
+    // Fully drained: give the chunks back to the region. The allocator stays
+    // live (unlike a defunct one) — the path restarts cold, growing fresh
+    // chunks on its next allocation.
+    if (a.outstanding == 0 && !a.chunk_ranges.empty()) {
+      for (const auto& [base, pages] : a.chunk_ranges) {
+        region_va_.Free(base, pages);
+      }
+      a.chunk_ranges.clear();
+      a.chunks = 0;
+      a.va = AddressSpace(AddressSpace::Empty{});
+    }
+  }
+  return released;
 }
 
 Status FbufSystem::EnsureMaterialized(Fbuf* fb) {
@@ -422,6 +564,10 @@ void FbufSystem::DestroyFbuf(Fbuf* fb) {
   fb->dead = true;
   fb->free_listed = false;
   DropSwap(fb->id);
+  auto owned = owned_pages_.find(fb->originator);
+  if (owned != owned_pages_.end()) {
+    owned->second -= fb->pages <= owned->second ? fb->pages : owned->second;
+  }
   Allocator& a = GetAllocator(fb->originator, fb->path, fb->cached);
   if (!a.defunct) {
     a.va.Free(fb->base, fb->pages);

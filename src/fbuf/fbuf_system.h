@@ -55,6 +55,28 @@ struct FbufConfig {
   // Free lists are LIFO (§3.3: the front of the list is most likely to
   // still have physical memory). Set false for the FIFO ablation.
   bool lifo_free_lists = true;
+  // Default per-domain cap on region pages a domain may own as originator
+  // (live + free-listed fbufs). 0 = unlimited. A domain over its quota may
+  // still reuse its own free-listed fbufs (usage does not grow), and a carve
+  // attempt first shrinks the domain's own free lists before failing.
+  // SetDomainQuota overrides per domain.
+  std::uint64_t domain_page_quota = 0;
+  // Per-path cap on pages a cached path allocator may hold in chunks.
+  // 0 = unlimited. Enforced when the allocator grows.
+  std::uint64_t path_page_quota = 0;
+};
+
+// Installed by the pressure subsystem (src/pressure): OnAllocate runs at the
+// top of every allocation (the watermark check — it may schedule an evented
+// reclamation sweep); OnAllocationFailure runs synchronously as the last
+// resort before an allocation fails for lack of physical frames or region
+// space, and returns the pages it reclaimed (nonzero → the allocation is
+// retried once).
+class PressureHooks {
+ public:
+  virtual ~PressureHooks() = default;
+  virtual void OnAllocate() = 0;
+  virtual std::uint64_t OnAllocationFailure(std::uint64_t pages_needed) = 0;
 };
 
 class FbufSystem {
@@ -77,6 +99,20 @@ class FbufSystem {
   // piggyback on RPC traffic in the meantime make the event a no-op.
   // Without a loop attached the flush stays synchronous.
   void AttachEventLoop(EventLoop* loop) { loop_ = loop; }
+
+  // Pressure integration (src/pressure installs these; nullptr detaches).
+  void SetPressureHooks(PressureHooks* hooks) { pressure_ = hooks; }
+
+  // --- Quotas ----------------------------------------------------------------
+  // Overrides the config's per-domain page quota for |d| (0 restores the
+  // config default). Quotas cap growth: carving new pages past the quota
+  // fails with kQuotaExceeded, but reuse of the domain's own free-listed
+  // fbufs is always allowed (usage does not grow).
+  void SetDomainQuota(DomainId d, std::uint64_t pages);
+  std::uint64_t DomainQuotaFor(DomainId d) const;
+  // Pages currently charged against |d|'s quota (incrementally maintained;
+  // equals PagesOwnedBy for a consistent system).
+  std::uint64_t DomainPagesInUse(DomainId d) const;
 
   // --- Allocation ------------------------------------------------------------
   // Allocates an fbuf of |bytes| in |originator|. With a live |path| whose
@@ -131,6 +167,13 @@ class FbufSystem {
   std::uint64_t PageOutInUse(std::uint64_t max_pages = ~std::uint64_t{0});
 
   std::uint64_t SwapResidentPages() const { return swap_.size(); }
+
+  // Destroys the free-listed fbufs of cached allocators that have not served
+  // an allocation for |idle_ns| (per the machine clock), releasing their
+  // frames and region space. The reclamation sweep's last stage: unlike
+  // ReclaimFreeMemory this gives back virtual space and chunk quota, at the
+  // cost of cold restarts for the path. Returns pages released.
+  std::uint64_t ShrinkIdlePaths(SimTime idle_ns);
 
   // --- Endpoint / domain lifecycle ----------------------------------------------
   // Communication endpoint destroyed: free-listed fbufs of the path are
@@ -191,6 +234,7 @@ class FbufSystem {
     bool defunct = false;
     std::uint32_t chunks = 0;
     std::uint64_t outstanding = 0;  // carved fbufs not yet destroyed
+    SimTime last_alloc = 0;         // machine-clock time of the last allocation
     AddressSpace va{AddressSpace::Empty{}};
     // LIFO free lists, one per fbuf size in pages.
     std::map<std::uint64_t, std::vector<FbufId>> free_lists;
@@ -203,6 +247,14 @@ class FbufSystem {
 
   Allocator& GetAllocator(DomainId domain, PathId path, bool cached);
   Status GrowAllocator(Allocator& a, std::uint64_t pages);
+  Status AllocateInternal(Domain& originator, PathId path, std::uint64_t bytes,
+                          bool want_volatile, Fbuf** out, bool clear_pages);
+  // Quota growth check for |d| carving |pages| new pages; shrinks the
+  // domain's own free lists before giving up.
+  Status ChargeQuota(Domain& d, std::uint64_t pages);
+  // Destroys free-listed fbufs owned by |d| until |pages_needed| pages were
+  // released (or none remain). Returns pages released.
+  std::uint64_t ShrinkDomainFreeLists(DomainId d, std::uint64_t pages_needed);
   Status CarveFbuf(Allocator& a, Domain& originator, std::uint64_t pages, std::uint64_t bytes,
                    bool want_volatile, Fbuf** out);
   // Re-materializes any reclaimed pages of a free-listed fbuf being reused.
@@ -228,6 +280,9 @@ class FbufSystem {
   PathRegistry paths_;
   Rpc* rpc_ = nullptr;
   EventLoop* loop_ = nullptr;
+  PressureHooks* pressure_ = nullptr;
+  std::map<DomainId, std::uint64_t> quota_overrides_;
+  std::map<DomainId, std::uint64_t> owned_pages_;  // quota charge per domain
   // (holder, owner) pairs with a flush event already in flight.
   std::set<std::pair<DomainId, DomainId>> flush_scheduled_;
   AddressSpace region_va_{AddressSpace::Empty{}};

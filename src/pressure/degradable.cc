@@ -1,0 +1,105 @@
+#include "src/pressure/degradable.h"
+
+#include "src/pressure/backoff.h"
+
+namespace fbufs {
+
+Status DegradablePath::SendPdu(std::uint64_t bytes, Fbuf** retained) {
+  if (retained != nullptr) {
+    *retained = nullptr;
+  }
+  if (pressure_->ModeFor(path_) == PathMode::kZeroCopy) {
+    const Status st = SendZeroCopy(bytes, retained);
+    if (Ok(st)) {
+      pressure_->RecordAllocSuccess(path_);
+      return st;
+    }
+    if (!IsBackpressure(st)) {
+      return st;
+    }
+    if (pressure_->RecordAllocFailure(path_) == PathMode::kZeroCopy) {
+      // Not degraded yet: hand the backpressure to the caller to park on.
+      return st;
+    }
+    // Threshold reached — this PDU and the following ones go via copy.
+  }
+  Status st = SendDegraded(bytes);
+  if (IsBackpressure(st)) {
+    // The copy path allocates outside the fbuf system, so it never reaches
+    // the allocator's built-in emergency sweep: run it here. Frames parked
+    // on free lists (a degraded path sends no deallocation traffic that
+    // would recycle them) come back to the physical pool, and the copy is
+    // retried once.
+    if (pressure_->OnAllocationFailure(2 * PagesFor(bytes)) > 0) {
+      st = SendDegraded(bytes);
+    }
+  }
+  return st;
+}
+
+Status DegradablePath::SendZeroCopy(std::uint64_t bytes, Fbuf** retained) {
+  Fbuf* fb = nullptr;
+  Status st = fsys_->Allocate(*sender_, path_, bytes, /*want_volatile=*/true, &fb);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = sender_->TouchRange(fb->base, bytes, Access::kWrite);
+  if (!Ok(st)) {
+    fsys_->Free(fb, *sender_);
+    return st;
+  }
+  st = fsys_->Transfer(fb, *sender_, *receiver_);
+  if (!Ok(st)) {
+    fsys_->Free(fb, *sender_);
+    return st;
+  }
+  st = receiver_->TouchRange(fb->base, bytes, Access::kRead);
+  const Status recv_free = fsys_->Free(fb, *receiver_);
+  if (!Ok(st) || !Ok(recv_free)) {
+    fsys_->Free(fb, *sender_);
+    return !Ok(st) ? st : recv_free;
+  }
+  // The sender's reference is the retention handle; without a taker it
+  // drops now and the fbuf returns to the path's free list.
+  if (retained != nullptr) {
+    *retained = fb;
+  } else {
+    fsys_->Free(fb, *sender_);
+  }
+  zero_copy_pdus_++;
+  return Status::kOk;
+}
+
+Status DegradablePath::SendDegraded(std::uint64_t bytes) {
+  Machine& machine = fsys_->machine();
+  const std::uint64_t pages = PagesFor(bytes);
+  auto it = tx_staging_.find(pages);
+  if (it == tx_staging_.end()) {
+    BufferRef fresh;
+    const Status st = copy_->Alloc(*sender_, bytes, &fresh);
+    if (!Ok(st)) {
+      return st;  // even the copy path is out of memory: caller parks
+    }
+    it = tx_staging_.emplace(pages, fresh).first;
+  }
+  BufferRef& ref = it->second;
+  ref.bytes = bytes;
+  Status st = sender_->TouchRange(ref.sender_addr, bytes, Access::kWrite);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = copy_->Send(ref, *sender_, *receiver_);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = receiver_->TouchRange(ref.receiver_addr, bytes, Access::kRead);
+  if (!Ok(st)) {
+    return st;
+  }
+  copy_->ReceiverFree(ref, *receiver_);
+  machine.stats().degraded_pdus++;
+  degraded_pdus_++;
+  return Status::kOk;
+}
+
+}  // namespace fbufs

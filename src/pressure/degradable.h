@@ -1,0 +1,74 @@
+// DegradablePath: one sender→receiver data path that moves PDUs zero-copy
+// while memory allows and falls back to the baseline copy facility when the
+// PressureManager degrades it — the "graceful" in graceful degradation.
+//
+// In zero-copy mode each PDU is the paper's cycle: allocate an fbuf on the
+// path, write one word per page, transfer, receiver reads. The sender's
+// reference is handed back to the caller (|retained|) so a bench can model
+// retention — a retransmission buffer, slow consumer, etc. — by freeing it
+// later; frames stay pinned exactly that long.
+//
+// In degraded mode the PDU goes through CopyTransfer instead: the kernel
+// memcpys into a pooled landing buffer, nothing in the fbuf pool is pinned,
+// and the PDU is counted in degraded_pdus / bytes_copied. The sender-side
+// staging buffer is allocated once per PDU size and reused, so the copy
+// path's footprint is bounded no matter how long pressure lasts.
+#ifndef SRC_PRESSURE_DEGRADABLE_H_
+#define SRC_PRESSURE_DEGRADABLE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/baseline/copy_transfer.h"
+#include "src/fbuf/fbuf_system.h"
+#include "src/pressure/pressure.h"
+
+namespace fbufs {
+
+class DegradablePath {
+ public:
+  DegradablePath(FbufSystem* fsys, CopyTransfer* copy, PressureManager* pressure,
+                 Domain* sender, Domain* receiver, PathId path)
+      : fsys_(fsys),
+        copy_(copy),
+        pressure_(pressure),
+        sender_(sender),
+        receiver_(receiver),
+        path_(path) {}
+
+  // Moves one |bytes| PDU sender→receiver.
+  //
+  // Zero-copy mode: on success *|retained| (if non-null) is the fbuf with
+  // the sender's reference still held — the caller must Free(fb, sender)
+  // when its retention period ends; pass nullptr to release immediately.
+  // A backpressure failure before the path degrades is returned as-is so
+  // the caller can park and retry (see FlowBackoff).
+  //
+  // Degraded mode: the copy cycle runs, *|retained| is null (nothing is
+  // pinned), and the machine's degraded_pdus / bytes_copied stats move.
+  Status SendPdu(std::uint64_t bytes, Fbuf** retained);
+
+  PathMode mode() { return pressure_->ModeFor(path_); }
+  std::uint64_t zero_copy_pdus() const { return zero_copy_pdus_; }
+  std::uint64_t degraded_pdus() const { return degraded_pdus_; }
+
+ private:
+  Status SendZeroCopy(std::uint64_t bytes, Fbuf** retained);
+  Status SendDegraded(std::uint64_t bytes);
+
+  FbufSystem* fsys_;
+  CopyTransfer* copy_;
+  PressureManager* pressure_;
+  Domain* sender_;
+  Domain* receiver_;
+  PathId path_;
+  // pages -> reusable sender-side staging buffer for the copy path.
+  std::map<std::uint64_t, BufferRef> tx_staging_;
+
+  std::uint64_t zero_copy_pdus_ = 0;
+  std::uint64_t degraded_pdus_ = 0;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_PRESSURE_DEGRADABLE_H_

@@ -1,0 +1,128 @@
+#include "src/pressure/pressure.h"
+
+#include <algorithm>
+
+namespace fbufs {
+
+PressureManager::PressureManager(FbufSystem* fsys, const PressureConfig& config)
+    : fsys_(fsys), config_(config) {
+  fsys_->SetPressureHooks(this);
+}
+
+PressureManager::~PressureManager() { fsys_->SetPressureHooks(nullptr); }
+
+std::uint64_t PressureManager::FreeFrames() const {
+  return fsys_->machine().pmem().free_frames();
+}
+
+bool PressureManager::UnderPressure() const {
+  return FreeFrames() < config_.low_free_frames;
+}
+
+void PressureManager::OnAllocate() {
+  if (in_sweep_ || !UnderPressure()) {
+    return;
+  }
+  if (loop_ == nullptr) {
+    Sweep(config_.high_free_frames);
+    return;
+  }
+  if (sweep_scheduled_) {
+    return;
+  }
+  sweep_scheduled_ = true;
+  // Clamp the key, never the value: the machine clock may be ahead of the
+  // loop's dispatch floor.
+  const SimTime key = std::max(loop_->Now(), fsys_->machine().clock().Now());
+  loop_->Schedule(key, "pressure-sweep", [this] {
+    sweep_scheduled_ = false;
+    if (UnderPressure()) {
+      Sweep(config_.high_free_frames);
+    }
+  });
+}
+
+std::uint64_t PressureManager::OnAllocationFailure(std::uint64_t pages_needed) {
+  // Emergency path: the allocation is about to fail, so sweep synchronously
+  // and far enough to cover the request even if the watermark is tiny.
+  return Sweep(std::max(config_.high_free_frames, pages_needed));
+}
+
+std::uint64_t PressureManager::Sweep(std::uint64_t target_free) {
+  if (in_sweep_) {
+    return 0;  // FileCache eviction re-enters via Free; never recurse
+  }
+  in_sweep_ = true;
+  SimStats& stats = fsys_->machine().stats();
+  stats.pressure_sweeps++;
+  sweeps_++;
+  const std::uint64_t before = FreeFrames();
+
+  // Stage 1 — discard frames of free-listed fbufs (cheapest: contents are
+  // dead by definition, §3.3).
+  if (FreeFrames() < target_free) {
+    fsys_->ReclaimFreeMemory(target_free - FreeFrames());
+  }
+
+  // Stage 2 — evict clean file-cache blocks toward the floor, LRU first.
+  // Re-reading them costs disk time, not correctness.
+  while (cache_ != nullptr && FreeFrames() < target_free &&
+         cache_->resident_blocks() > config_.cache_floor_blocks) {
+    if (cache_->Shrink(cache_->resident_blocks() - 1) == 0) {
+      break;
+    }
+    // The evicted block's fbuf lands on the kernel path's free list with
+    // its frames still attached; discard them so the progress is visible
+    // in FreeFrames() and the loop stops as soon as the target is met.
+    fsys_->ReclaimFreeMemory(target_free - FreeFrames());
+  }
+
+  // Stage 3 — destroy the free lists of idle cached paths, releasing region
+  // space and chunk quota (the most expensive: those paths restart cold).
+  if (FreeFrames() < target_free) {
+    fsys_->ShrinkIdlePaths(config_.path_idle_ns);
+  }
+
+  in_sweep_ = false;
+  const std::uint64_t after = FreeFrames();
+  const std::uint64_t freed = after > before ? after - before : 0;
+  stats.pressure_pages_reclaimed += freed;
+  pages_reclaimed_ += freed;
+  return freed;
+}
+
+PathMode PressureManager::ModeFor(PathId path) {
+  auto it = path_states_.find(path);
+  if (it == path_states_.end()) {
+    return PathMode::kZeroCopy;
+  }
+  PathState& s = it->second;
+  if (s.mode == PathMode::kDegraded && FreeFrames() >= config_.high_free_frames) {
+    // Pressure cleared: restore zero-copy.
+    s.mode = PathMode::kZeroCopy;
+    s.consecutive_failures = 0;
+    restorations_++;
+  }
+  return s.mode;
+}
+
+PathMode PressureManager::RecordAllocFailure(PathId path) {
+  PathState& s = path_states_[path];
+  if (s.mode == PathMode::kDegraded) {
+    return s.mode;
+  }
+  if (++s.consecutive_failures >= config_.degrade_after_failures) {
+    s.mode = PathMode::kDegraded;
+    degradations_++;
+  }
+  return s.mode;
+}
+
+void PressureManager::RecordAllocSuccess(PathId path) {
+  auto it = path_states_.find(path);
+  if (it != path_states_.end()) {
+    it->second.consecutive_failures = 0;
+  }
+}
+
+}  // namespace fbufs

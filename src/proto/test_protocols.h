@@ -29,6 +29,9 @@ class SourceProtocol : public Protocol {
     }
     st = domain()->TouchRange(fb->base, bytes, Access::kWrite);
     if (!Ok(st)) {
+      // The write failed (e.g. no frame left to fault in): drop the
+      // reference, or the fbuf stays live-but-unsendable forever.
+      stack_->fsys()->Free(fb, *domain());
       return st;
     }
     st = SendDown(Message::Whole(fb));

@@ -24,6 +24,9 @@ SimStats SimStats::Since(const SimStats& base) const {
   d.fbuf_transfers = fbuf_transfers - base.fbuf_transfers;
   d.dealloc_notices = dealloc_notices - base.dealloc_notices;
   d.dealloc_messages = dealloc_messages - base.dealloc_messages;
+  d.degraded_pdus = degraded_pdus - base.degraded_pdus;
+  d.pressure_sweeps = pressure_sweeps - base.pressure_sweeps;
+  d.pressure_pages_reclaimed = pressure_pages_reclaimed - base.pressure_pages_reclaimed;
   return d;
 }
 
@@ -37,7 +40,9 @@ std::string SimStats::ToString() const {
      << " ipc_calls=" << ipc_calls << "\nfbuf_allocs=" << fbuf_allocs
      << " fbuf_cache_hits=" << fbuf_cache_hits << " fbuf_transfers=" << fbuf_transfers
      << " dealloc_notices=" << dealloc_notices
-     << " dealloc_messages=" << dealloc_messages;
+     << " dealloc_messages=" << dealloc_messages << "\ndegraded_pdus=" << degraded_pdus
+     << " pressure_sweeps=" << pressure_sweeps
+     << " pressure_pages_reclaimed=" << pressure_pages_reclaimed;
   return os.str();
 }
 

@@ -29,6 +29,9 @@ struct SimStats {
   std::uint64_t fbuf_transfers = 0;    // cross-domain fbuf transfers
   std::uint64_t dealloc_notices = 0;   // piggybacked deallocation notices
   std::uint64_t dealloc_messages = 0;  // explicit deallocation messages
+  std::uint64_t degraded_pdus = 0;     // PDUs sent via the copy fallback
+  std::uint64_t pressure_sweeps = 0;   // reclamation sweeps (evented + emergency)
+  std::uint64_t pressure_pages_reclaimed = 0;  // pages recovered by sweeps
 
   void Reset() { *this = SimStats{}; }
 

@@ -42,6 +42,21 @@ void TopologyRunner::ScheduleSenderStep(std::size_t flow) {
                   });
 }
 
+void TopologyRunner::ParkFlow(std::size_t flow, FlowBackoff& backoff,
+                              const std::string& label, EventLoop::Handler retry) {
+  FlowRun& run = runs_[flow];
+  const auto delay = backoff.Park(loop_->Now());
+  if (!delay.has_value()) {
+    // No progress for the whole horizon: the watchdog gives up so the run
+    // drains and the §3.3 invariants can be audited over what remains.
+    run.stall_failed = true;
+    run.failed = true;
+    return;
+  }
+  run.parks++;
+  loop_->Schedule(Key(loop_->Now() + *delay), label, std::move(retry));
+}
+
 void TopologyRunner::SenderStep(std::size_t flow) {
   FlowRun& run = runs_[flow];
   if (run.failed || run.next >= run.total) {
@@ -71,8 +86,19 @@ void TopologyRunner::SenderStep(std::size_t flow) {
   const SimTime tx_before = tx_clock.Now();
   const Status st = tx.source->SendOne(run.traffic.bytes);
   if (!Ok(st)) {
+    if (backpressure_on_ && IsBackpressure(st)) {
+      // Pool/quota pressure: park and retry this same message instead of
+      // failing the flow — memory may free up (or the watchdog gives up).
+      ParkFlow(flow, run.tx_backoff,
+               "park/" + std::to_string(flow) + "/" + std::to_string(m),
+               [this, flow] { SenderStep(flow); });
+      return;
+    }
     run.failed = true;
     return;
+  }
+  if (backpressure_on_) {
+    run.tx_backoff.Progress(loop_->Now());
   }
   const SimTime tx_after = tx_clock.Now();
   tx.cpu.RecordBusy(tx_before, tx_after);
@@ -186,8 +212,21 @@ void TopologyRunner::DeliverEvent(std::size_t flow, std::uint64_t msg,
   const Status st = rx.driver->DeliverPdu(payload, flows_[flow].legs.back().vci,
                                           rx.config.volatile_fbufs);
   if (!Ok(st)) {
+    if (backpressure_on_ && IsBackpressure(st)) {
+      // The receiver could not buffer the PDU (its pool/quota is the
+      // bottleneck): park the delivery and retry with the same payload.
+      ParkFlow(flow, run.rx_backoff,
+               "rxpark/" + std::to_string(flow) + "/" + std::to_string(msg),
+               [this, flow, msg, payload = std::move(payload), rx_dma_done]() mutable {
+                 DeliverEvent(flow, msg, std::move(payload), rx_dma_done);
+               });
+      return;
+    }
     run.failed = true;
     return;
+  }
+  if (backpressure_on_) {
+    run.rx_backoff.Progress(loop_->Now());
   }
   const SimTime rx_after = rx_clock.Now();
   rx.cpu.RecordBusy(rx_before, rx_after);
@@ -336,6 +375,12 @@ MultiResult TopologyRunner::RunFlows(const std::vector<FlowTraffic>& traffic) {
       run.traffic = traffic[i];
     }
     run.total = run.traffic.warmup + run.traffic.messages;
+    if (backpressure_on_) {
+      run.tx_backoff.policy = bp_policy_;
+      run.tx_backoff.stall_horizon = bp_horizon_;
+      run.tx_backoff.last_progress = loop_->Now();
+      run.rx_backoff = run.tx_backoff;
+    }
     SimHost& tx = TxHost(i);
     tx.cpu.ResetAccounting(tx.machine.clock().Now());
     tx.out_adapter().tx_dma().ResetAccounting(
@@ -373,6 +418,8 @@ MultiResult TopologyRunner::RunFlows(const std::vector<FlowTraffic>& traffic) {
     fr.failed = run.failed;
     fr.completed_messages = run.completed;
     fr.stalled = !run.failed && run.total > 0 && run.completed < run.total;
+    fr.backpressure_parks = run.parks;
+    fr.stall_failed = run.stall_failed;
     mr.failed = mr.failed || run.failed;
     if (run.total == 0 || run.failed) {
       continue;

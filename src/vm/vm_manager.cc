@@ -41,6 +41,9 @@ Status VmManager::MapAnonymous(Domain& d, VirtAddr base, std::uint64_t pages, Pr
     if (eager) {
       const Status st = MaterializeFrame(d, vpn, e, clear);
       if (!Ok(st)) {
+        // Partial failure: give back the pages this call already mapped, or
+        // their frames stay pinned with no fbuf/buffer ever created.
+        Unmap(d, base, i, mode);
         return st;
       }
       d.pmap().Set(vpn, e.frame, PmapProt(e));

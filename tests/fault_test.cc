@@ -330,5 +330,147 @@ TEST(Campaigns, LinkFaultsRestoreTheirPriorValues) {
   EXPECT_TRUE(report.audits_passed());
 }
 
+// --- Quota edge cases --------------------------------------------------------
+
+TEST(Quota, QuotaOfExactlyOneFbufAllowsReuseAndShrinksToFit) {
+  AuditWorld w;
+  w.fsys.SetDomainQuota(w.src->id(), 4);
+
+  Fbuf* a = nullptr;
+  ASSERT_TRUE(Ok(w.fsys.Allocate(*w.src, w.path, 4 * kPageSize, true, &a)));
+  EXPECT_EQ(w.fsys.DomainPagesInUse(w.src->id()), 4u);
+
+  // A second carve would grow past the quota.
+  Fbuf* b = nullptr;
+  EXPECT_EQ(w.fsys.Allocate(*w.src, w.path, 4 * kPageSize, true, &b),
+            Status::kQuotaExceeded);
+
+  // Freeing keeps the pages charged (free-listed fbufs still count), but
+  // reuse of the domain's own free list is always allowed.
+  ASSERT_TRUE(Ok(w.fsys.Free(a, *w.src)));
+  EXPECT_EQ(w.fsys.DomainPagesInUse(w.src->id()), 4u);
+  ASSERT_TRUE(Ok(w.fsys.Allocate(*w.src, w.path, 4 * kPageSize, true, &b)));
+  EXPECT_EQ(b, a);  // cache hit, no growth
+
+  // A different size cannot reuse the free list, but the carve shrinks the
+  // domain's own free-listed fbufs to make quota room.
+  ASSERT_TRUE(Ok(w.fsys.Free(b, *w.src)));
+  Fbuf* small = nullptr;
+  ASSERT_TRUE(Ok(w.fsys.Allocate(*w.src, w.path, 2 * kPageSize, true, &small)));
+  EXPECT_EQ(w.fsys.DomainPagesInUse(w.src->id()), 2u);
+  EXPECT_EQ(w.fsys.FreeListSize(w.src->id(), w.path), 0u);
+  EXPECT_EQ(w.fsys.Audit().free_list_errors, 0u);
+}
+
+TEST(Quota, ShrinkingTheQuotaBelowUsageBlocksGrowthButNotReuse) {
+  AuditWorld w;
+  w.fsys.SetDomainQuota(w.src->id(), 16);
+  Fbuf* a = nullptr;
+  Fbuf* b = nullptr;
+  ASSERT_TRUE(Ok(w.fsys.Allocate(*w.src, w.path, 4 * kPageSize, true, &a)));
+  ASSERT_TRUE(Ok(w.fsys.Allocate(*w.src, w.path, 4 * kPageSize, true, &b)));
+  EXPECT_EQ(w.fsys.DomainPagesInUse(w.src->id()), 8u);
+
+  // Tighten the quota below what is already outstanding: existing fbufs are
+  // unaffected, growth fails, reuse still works.
+  w.fsys.SetDomainQuota(w.src->id(), 4);
+  Fbuf* c = nullptr;
+  EXPECT_EQ(w.fsys.Allocate(*w.src, w.path, 4 * kPageSize, true, &c),
+            Status::kQuotaExceeded);
+  ASSERT_TRUE(Ok(w.fsys.Free(b, *w.src)));
+  ASSERT_TRUE(Ok(w.fsys.Allocate(*w.src, w.path, 4 * kPageSize, true, &c)));
+  EXPECT_EQ(c, b);
+  EXPECT_EQ(w.fsys.DomainPagesInUse(w.src->id()), 8u);
+}
+
+TEST(Quota, TerminationReleasesTheDomainsEntireQuotaCharge) {
+  AuditWorld w;
+  Fbuf* live = nullptr;
+  Fbuf* cached = nullptr;
+  ASSERT_TRUE(Ok(w.fsys.Allocate(*w.src, w.path, 4 * kPageSize, true, &live)));
+  ASSERT_TRUE(Ok(w.fsys.Allocate(*w.src, w.path, 2 * kPageSize, true, &cached)));
+  ASSERT_TRUE(Ok(w.fsys.Free(cached, *w.src)));
+  EXPECT_EQ(w.fsys.DomainPagesInUse(w.src->id()), 6u);
+
+  const DomainId victim = w.src->id();
+  w.machine.DestroyDomain(victim);
+  EXPECT_EQ(w.fsys.DomainPagesInUse(victim), 0u);
+  EXPECT_EQ(w.fsys.PagesOwnedBy(victim), 0u);
+  const FbufSystem::AuditCounts audit = w.fsys.Audit();
+  EXPECT_EQ(audit.free_list_errors, 0u);
+  EXPECT_EQ(audit.dangling_mappings, 0u);
+}
+
+// --- Producer backoff under pool exhaustion ----------------------------------
+
+TEST(SwpBackpressure, WindowNeverWedgesAcrossMultipleExhaustedRtos) {
+  SwpWorldConfig wc;
+  wc.phys_frames = 96;
+  SwpWorld w(wc);
+
+  // A hoarder leaves fewer free frames than one 8-page message needs; the
+  // producer must park across several RTOs without wedging the window.
+  Domain* hoarder = w.machine.CreateDomain("hoarder");
+  std::vector<Fbuf*> hoard;
+  while (w.machine.pmem().free_frames() > 6) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(w.machine.pmem().free_frames() - 6,
+                                w.fsys.config().chunk_pages);
+    Fbuf* fb = nullptr;
+    ASSERT_TRUE(Ok(w.fsys.Allocate(*hoarder, kNoPath, take * kPageSize, false, &fb)));
+    hoard.push_back(fb);
+  }
+
+  // Release the hoard after three RTOs' worth of failed retries. Anchor on
+  // the machine clock: the hoard setup above charged allocation time, and
+  // the producer's retries are scheduled relative to that clock.
+  w.loop.Schedule(w.machine.clock().Now() + 3 * wc.rto, "release-hoard", [&w, &hoard] {
+    for (Fbuf* fb : hoard) {
+      w.fsys.Free(fb, *w.machine.domain(fb->originator));
+    }
+    hoard.clear();
+  });
+
+  const int kMessages = 12;
+  w.StartProducer(kMessages, 32 * 1024);
+  w.loop.Run();
+
+  EXPECT_EQ(w.accepted(), kMessages);
+  EXPECT_GE(w.producer_parks(), 2u);
+  EXPECT_FALSE(w.producer_stalled());
+  EXPECT_FALSE(w.producer_failed());
+  EXPECT_EQ(w.sender.unacked(), 0u);  // the window drained, never wedged
+  const FbufSystem::AuditCounts audit = w.fsys.Audit();
+  EXPECT_EQ(audit.free_list_errors, 0u);
+  EXPECT_EQ(audit.dangling_mappings, 0u);
+}
+
+TEST(SwpBackpressure, StallWatchdogFailsTheProducerInsteadOfSpinning) {
+  SwpWorldConfig wc;
+  wc.phys_frames = 64;
+  wc.stall_horizon = 20 * kMillisecond;
+  SwpWorld w(wc);
+
+  // The hoard is never released: the watchdog must end the run cleanly.
+  Domain* hoarder = w.machine.CreateDomain("hoarder");
+  std::vector<Fbuf*> hoard;
+  while (w.machine.pmem().free_frames() > 6) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(w.machine.pmem().free_frames() - 6,
+                                w.fsys.config().chunk_pages);
+    Fbuf* fb = nullptr;
+    ASSERT_TRUE(Ok(w.fsys.Allocate(*hoarder, kNoPath, take * kPageSize, false, &fb)));
+    hoard.push_back(fb);
+  }
+
+  w.StartProducer(4, 32 * 1024);
+  w.loop.Run();  // must go quiescent — no endless retry loop
+
+  EXPECT_TRUE(w.producer_stalled());
+  EXPECT_FALSE(w.producer_failed());
+  EXPECT_EQ(w.accepted(), 0);
+  EXPECT_GE(w.producer_parks(), 1u);
+}
+
 }  // namespace
 }  // namespace fbufs

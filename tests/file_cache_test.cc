@@ -111,6 +111,40 @@ TEST_F(FileCacheTest, LruEvictionUnderCapacity) {
   ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
 }
 
+TEST_F(FileCacheTest, EvictionReasonsAreAccountedSeparately) {
+  FileCache cache(&world_.fsys, SmallConfig());  // capacity 4
+  const PathId path = world_.fsys.paths().Register({app_->id(), kKernelDomainId});
+
+  // Overwrite: replacing a key's block drops the old copy but is neither a
+  // capacity nor a pressure eviction — memory demand didn't force it.
+  for (int round = 0; round < 2; ++round) {
+    Fbuf* fb = nullptr;
+    ASSERT_EQ(world_.fsys.Allocate(*app_, path, 8192, true, &fb), Status::kOk);
+    ASSERT_EQ(app_->TouchRange(fb->base, 8192, Access::kWrite), Status::kOk);
+    ASSERT_EQ(cache.Write(7, 0, *app_, Message::Whole(fb)), Status::kOk);
+    ASSERT_EQ(world_.fsys.Free(fb, *app_), Status::kOk);
+  }
+  EXPECT_EQ(cache.overwrite_evictions(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Capacity: LRU churn past the block limit.
+  for (std::uint64_t b = 0; b < 6; ++b) {
+    Message m;
+    ASSERT_EQ(cache.Read(1, b, *app_, &m), Status::kOk);
+    ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+  }
+  EXPECT_GE(cache.capacity_evictions(), 2u);
+  EXPECT_EQ(cache.pressure_evictions(), 0u);
+
+  // Pressure: an explicit Shrink is the sweep's lever, counted apart.
+  const std::uint64_t cap_before = cache.capacity_evictions();
+  EXPECT_GT(cache.Shrink(1), 0u);
+  EXPECT_GT(cache.pressure_evictions(), 0u);
+  EXPECT_EQ(cache.capacity_evictions(), cap_before);
+  EXPECT_EQ(cache.evictions(),
+            cache.capacity_evictions() + cache.pressure_evictions());
+}
+
 TEST_F(FileCacheTest, HotBlockSurvivesEviction) {
   FileCache cache(&world_.fsys, SmallConfig());
   auto touch = [&](std::uint64_t b) {
