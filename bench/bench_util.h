@@ -4,8 +4,10 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/baseline/transfer_facility.h"
@@ -154,6 +156,13 @@ class JsonReport {
     return *this;
   }
 
+  // Extra top-level section emitted after "rows". |raw_json| must already be
+  // valid JSON (object, array or scalar); it is written verbatim.
+  JsonReport& RawSection(const std::string& key, std::string raw_json) {
+    sections_.emplace_back(key, std::move(raw_json));
+    return *this;
+  }
+
   // Writes BENCH_<name>.json in the working directory.
   bool Write() const {
     const std::string path = "BENCH_" + name_ + ".json";
@@ -179,7 +188,11 @@ class JsonReport {
       }
       std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ]");
+    for (const auto& [key, raw] : sections_) {
+      std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), raw.c_str());
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::fprintf(stderr, "wrote %s\n", path.c_str());
     return true;
@@ -194,7 +207,49 @@ class JsonReport {
   };
   std::string name_;
   std::vector<std::vector<Entry>> rows_;
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
+
+// --- Time attribution --------------------------------------------------------
+
+// Renders a machine's time-attribution state as a JSON object for a
+// JsonReport "time_attribution" section, after hard-checking conservation.
+// abort() rather than assert(): benches build RelWithDebInfo, where NDEBUG
+// would silence an assert, and a conservation hole must never ship silently
+// inside a BENCH_*.json.
+inline std::string TimeAttributionJson(Machine& m) {
+  const Attribution& attr = m.attribution();
+  const SimTime now = m.clock().Now();
+  if (attr.total() != now) {
+    std::fprintf(stderr,
+                 "time-attribution conservation violated on %s: attributed "
+                 "%llu ns, clock %llu ns\n",
+                 m.name().c_str(), static_cast<unsigned long long>(attr.total()),
+                 static_cast<unsigned long long>(now));
+    std::abort();
+  }
+  std::string out = "{\n    \"clock_ns\": " + std::to_string(now) +
+                    ",\n    \"attributed_ns\": " + std::to_string(attr.total()) +
+                    ",\n    \"by_layer\": {";
+  bool first = true;
+  for (int i = 0; i < static_cast<int>(CostDomain::kCount); ++i) {
+    const CostDomain d = static_cast<CostDomain>(i);
+    const SimTime ns = attr.ByLayer(d);
+    if (ns == 0) {
+      continue;
+    }
+    out += first ? "" : ", ";
+    out += "\"" + std::string(CostDomainName(d)) + "\": " + std::to_string(ns);
+    first = false;
+  }
+  out += "}\n  }";
+  return out;
+}
+
+// The common case: attach the machine's whole-run attribution to a report.
+inline void AddTimeAttribution(JsonReport& report, Machine& m) {
+  report.RawSection("time_attribution", TimeAttributionJson(m));
+}
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

@@ -38,6 +38,7 @@
 
 #include "src/fault/campaign.h"
 #include "src/fault/swp_world.h"
+#include "src/obs/trace_export.h"
 #include "src/topo/topo_config.h"
 
 namespace fbufs {
@@ -97,6 +98,83 @@ void PrintReport(const CampaignReport& r) {
   }
 }
 
+// --- Trace capture and export ------------------------------------------------
+//
+// Every campaign writes TRACE_<name>.json alongside its CAMPAIGN_<name>.json:
+// a Chrome trace_event timeline (load in Perfetto) with one process per
+// host, one lane per trace category, fault-phase markers from the
+// CampaignRunner, and busy-interval lanes for the contended resources.
+// Capture is armed right after world construction, while every trace ring
+// is still empty.
+
+constexpr std::size_t kTraceRing = std::size_t{1} << 17;
+
+void ArmHostTrace(Machine& m) {
+  m.trace().SetCapacity(kTraceRing);
+  m.trace().EnableAll();
+}
+
+void ArmTopologyCapture(BuiltTopology* b) {
+  for (NodeId n = 0; n < b->topo->node_count(); ++n) {
+    if (b->topo->is_switch(n)) {
+      SwitchNode* sw = b->topo->switch_at(n);
+      for (std::size_t p = 0; p < sw->port_count(); ++p) {
+        sw->port_resource(p).set_record_intervals(true);
+      }
+      continue;
+    }
+    SimHost* h = b->topo->host(n);
+    if (h != nullptr) {
+      ArmHostTrace(h->machine);
+      h->cpu.set_record_intervals(true);
+    }
+  }
+  for (LinkId l = 0; l < b->topo->link_count(); ++l) {
+    b->topo->link(l).wire().set_record_intervals(true);
+  }
+}
+
+void WriteTrace(const std::string& name, const TraceExporter& ex) {
+  const std::string path = "TRACE_" + name + ".json";
+  if (ex.WriteFile(path)) {
+    std::fprintf(stderr, "wrote %s (%zu events)\n", path.c_str(),
+                 ex.event_count());
+  }
+}
+
+void ExportTopologyTrace(const std::string& name, BuiltTopology* b) {
+  TraceExporter ex;
+  std::uint32_t pid = 1;
+  for (NodeId n = 0; n < b->topo->node_count(); ++n) {
+    if (b->topo->is_switch(n)) {
+      continue;
+    }
+    SimHost* h = b->topo->host(n);
+    if (h != nullptr) {
+      ex.AddHost(h->machine.name(), pid++, h->machine.trace());
+    }
+  }
+  for (NodeId n = 0; n < b->topo->node_count(); ++n) {
+    if (!b->topo->is_switch(n)) {
+      continue;
+    }
+    SwitchNode* sw = b->topo->switch_at(n);
+    for (std::size_t p = 0; p < sw->port_count(); ++p) {
+      ex.AddResource(sw->port_resource(p));
+    }
+  }
+  for (LinkId l = 0; l < b->topo->link_count(); ++l) {
+    ex.AddResource(b->topo->link(l).wire());
+  }
+  WriteTrace(name, ex);
+}
+
+void ExportSwpTrace(const std::string& name, SwpWorld& w) {
+  TraceExporter ex;
+  ex.AddHost(w.machine.name(), 1, w.machine.trace());
+  WriteTrace(name, ex);
+}
+
 // --- Campaign 1: loss burst, link flap, and queue squeeze under fan-in -------
 
 CampaignReport RunLossBurst() {
@@ -106,6 +184,7 @@ CampaignReport RunLossBurst() {
   cfg.sender_link_mbps = 60.0;
   cfg.switch_port.mbps = 140.0;
   BuiltTopology b = BuildTopology(cfg);
+  ArmTopologyCapture(&b);
 
   CampaignRunner cr("loss_burst", cfg.seed, b.loop.get());
   cr.AttachTopology(b.topo.get(), b.runner.get());
@@ -149,7 +228,9 @@ CampaignReport RunLossBurst() {
   cr.SetOutcome(flows_ok, flows_ok
                               ? "all flows drained despite burst+flap+squeeze"
                               : "a flow failed or wedged");
-  return cr.Finish();
+  CampaignReport rep = cr.Finish();
+  ExportTopologyTrace("loss_burst", &b);
+  return rep;
 }
 
 // --- Campaign 2: loss on the ack path only -----------------------------------
@@ -157,6 +238,7 @@ CampaignReport RunLossBurst() {
 CampaignReport RunAckOnlyLoss() {
   SwpWorldConfig wc;
   SwpWorld w(wc);
+  ArmHostTrace(w.machine);
 
   CampaignRunner cr("ack_only_loss", wc.fwd_seed ^ wc.rev_seed, &w.loop);
   cr.AttachSwp(&w.sender, &w.receiver, &w.fwd, &w.rev, &w.sink, &w.machine);
@@ -185,7 +267,9 @@ CampaignReport RunAckOnlyLoss() {
                 done ? "window recovered; retransmissions were duplicates "
                        "(data path never lost a frame)"
                      : "producer never finished");
-  return cr.Finish();
+  CampaignReport rep = cr.Finish();
+  ExportSwpTrace("ack_only_loss", w);
+  return rep;
 }
 
 // --- Campaign 3: RTO sensitivity sweep at fixed symmetric loss ---------------
@@ -194,6 +278,8 @@ CampaignReport RunRtoSweep() {
   CampaignReport master("rto_sweep", 11 ^ 13);
   master.AddScheduledFault({"symmetric-loss20", "set_link_loss", 0, 0, 20});
   bool all_ok = true;
+  TraceExporter ex;
+  std::uint32_t pid = 1;
   const int messages = static_cast<int>(48 / g_scale);
   for (const SimTime rto_us : {500u, 1000u, 2000u, 4000u, 8000u}) {
     SwpWorldConfig wc;
@@ -201,6 +287,7 @@ CampaignReport RunRtoSweep() {
     wc.fwd_loss = 20;
     wc.rev_loss = 20;
     SwpWorld w(wc);
+    ArmHostTrace(w.machine);
 
     CampaignRunner cr("rto_sweep_point", 11 ^ 13, &w.loop);
     cr.AttachSwp(&w.sender, &w.receiver, &w.fwd, &w.rev, &w.sink, &w.machine);
@@ -230,9 +317,14 @@ CampaignReport RunRtoSweep() {
          {"timer_fires", static_cast<double>(w.sender.timer_fires())},
          {"duplicates", static_cast<double>(w.receiver.duplicates_dropped())},
          {"wedged", w.sender.unacked() > 0 ? 1.0 : 0.0}});
+    // Each sweep point becomes a process lane; the world dies with the
+    // iteration, so the snapshot must be taken here.
+    ex.AddHost("rto=" + std::to_string(rto_us) + "us", pid++,
+               w.machine.trace());
   }
   master.SetOutcome(all_ok, all_ok ? "every RTO point drained and audited clean"
                                    : "a sweep point wedged or failed its audit");
+  WriteTrace("rto_sweep", ex);
   return master;
 }
 
@@ -243,6 +335,7 @@ CampaignReport RunTerminateOriginator() {
   cfg.shape = TopologyShape::kRelayChain;
   cfg.relays = 1;
   BuiltTopology b = BuildTopology(cfg);
+  ArmTopologyCapture(&b);
 
   CampaignRunner cr("terminate_originator", cfg.seed, b.loop.get());
   cr.AttachTopology(b.topo.get(), b.runner.get());
@@ -279,7 +372,9 @@ CampaignReport RunTerminateOriginator() {
       ok, ok ? "flow failed cleanly at termination; receiver-side data "
                "delivered before the fault survived"
              : "expected a clean failure with surviving receiver data");
-  return cr.Finish();
+  CampaignReport rep = cr.Finish();
+  ExportTopologyTrace("terminate_originator", &b);
+  return rep;
 }
 
 // --- Campaign 5: terminate a hoarding domain, reclaiming its quota -----------
@@ -288,6 +383,7 @@ CampaignReport RunHoarder() {
   SwpWorldConfig wc;
   wc.phys_frames = 512;
   SwpWorld w(wc);
+  ArmHostTrace(w.machine);
 
   CampaignRunner cr("hoarder", wc.fwd_seed ^ wc.rev_seed, &w.loop);
   cr.AttachSwp(&w.sender, &w.receiver, &w.fwd, &w.rev, &w.sink, &w.machine);
@@ -343,7 +439,9 @@ CampaignReport RunHoarder() {
                "termination returned its " +
                    std::to_string(hoarded) + " pages, and drained"
              : "expected park -> terminate -> full quota reclaim -> drain");
-  return cr.Finish();
+  CampaignReport rep = cr.Finish();
+  ExportSwpTrace("hoarder", w);
+  return rep;
 }
 
 int Main(int argc, char** argv) {

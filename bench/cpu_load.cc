@@ -50,6 +50,21 @@ int Main() {
         .Field("rx_cpu_load", r.receiver_cpu_load)
         .Field("throughput_mbps", r.throughput_mbps);
   }
+  // Per-layer time breakdown of the receiving host in the headline
+  // configuration (cached, 16 KB PDUs); conservation-checked.
+  {
+    TestbedConfig cfg;
+    cfg.placement = StackPlacement::kUserKernel;
+    cfg.pdu_size = 16 * 1024;
+    cfg.cached = true;
+    cfg.volatile_fbufs = true;
+    Testbed tb(cfg);
+    tb.Run(16, 1 << 20, /*warmup=*/2);
+    report.RawSection(
+        "time_attribution",
+        "{\n    \"receiver\": " + TimeAttributionJson(tb.receiver().machine) +
+            "\n  }");
+  }
   report.Write();
   // The paper's headline ("up to 45% CPU reduction or up to 2x throughput")
   // compares the saturated uncached receiver against the cached one once

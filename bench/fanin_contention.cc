@@ -39,7 +39,8 @@ struct SweepPoint {
   double bottleneck_util = 0;
 };
 
-SweepPoint RunPoint(std::size_t senders, std::uint64_t pdu) {
+SweepPoint RunPoint(std::size_t senders, std::uint64_t pdu,
+                    std::string* attr_json = nullptr) {
   TopologyConfig cfg;
   cfg.shape = TopologyShape::kFanInSwitch;
   cfg.senders = senders;
@@ -58,6 +59,11 @@ SweepPoint RunPoint(std::size_t senders, std::uint64_t pdu) {
     t.warmup = 4;
   }
   const MultiResult mr = b.runner->RunFlows(traffic);
+  if (attr_json != nullptr) {
+    *attr_json = "{\n    \"receiver\": " +
+                 TimeAttributionJson(b.topo->host(b.receiver_node)->machine) +
+                 "\n  }";
+  }
 
   SweepPoint p;
   p.senders = senders;
@@ -94,9 +100,12 @@ int Main() {
               "pdu", "offered", "goodput", "drops", "uplink", "port", "trunk",
               "rx-dma", "rx-cpu", "bottleneck");
   JsonReport report("fanin_contention");
+  std::string attr_json;
   for (std::uint64_t pdu : {2 * 1024, 16 * 1024}) {
     for (std::size_t senders : {1, 2, 4, 8}) {
-      const SweepPoint p = RunPoint(senders, pdu);
+      // The last point (8 senders, 16 KB PDUs) supplies the receiver's
+      // per-layer breakdown; each point is conservation-checked.
+      const SweepPoint p = RunPoint(senders, pdu, &attr_json);
       std::printf("%8zu %6lluKB %9.1f %9.1f %7llu %7.0f%% %7.0f%% %7.0f%% "
                   "%7.0f%% %7.0f%%  %s (%.0f%%)\n",
                   p.senders, static_cast<unsigned long long>(p.pdu / 1024),
@@ -121,6 +130,7 @@ int Main() {
           .Field("bottleneck_util", p.bottleneck_util);
     }
   }
+  report.RawSection("time_attribution", attr_json);
   report.Write();
   return 0;
 }

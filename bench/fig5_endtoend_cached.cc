@@ -47,6 +47,23 @@ int Main() {
         .Field("user_user_mbps", uu)
         .Field("user_netserver_user_mbps", unu);
   }
+  // Per-layer time breakdown from one representative configuration
+  // (user-user, 256 KB messages). TimeAttributionJson aborts if any host's
+  // attributed time disagrees with its clock.
+  {
+    TestbedConfig cfg;
+    cfg.placement = StackPlacement::kUserKernel;
+    cfg.pdu_size = 16 * 1024;
+    cfg.cached = true;
+    cfg.volatile_fbufs = true;
+    Testbed tb(cfg);
+    tb.Run(64, 256 * 1024, /*warmup=*/2);
+    report.RawSection(
+        "time_attribution",
+        "{\n    \"sender\": " + TimeAttributionJson(tb.sender().machine) +
+            ",\n    \"receiver\": " + TimeAttributionJson(tb.receiver().machine) +
+            "\n  }");
+  }
   report.Write();
   std::printf(
       "\nshape checks: ceiling ~285 Mbps (paper: 285, I/O bound); crossings negligible at\n"

@@ -48,6 +48,22 @@ int Main() {
         .Field("user_user_mbps", uu)
         .Field("user_netserver_user_mbps", unu);
   }
+  // Per-layer time breakdown from one representative uncached configuration
+  // (user-user, 256 KB messages); conservation-checked per host.
+  {
+    TestbedConfig cfg;
+    cfg.placement = StackPlacement::kUserKernel;
+    cfg.pdu_size = 16 * 1024;
+    cfg.cached = false;
+    cfg.volatile_fbufs = false;
+    Testbed tb(cfg);
+    tb.Run(64, 256 * 1024, /*warmup=*/2);
+    report.RawSection(
+        "time_attribution",
+        "{\n    \"sender\": " + TimeAttributionJson(tb.sender().machine) +
+            ",\n    \"receiver\": " + TimeAttributionJson(tb.receiver().machine) +
+            "\n  }");
+  }
   report.Write();
   std::printf(
       "\nshape checks: user-user ~12%% below the kernel-kernel baseline (paper: 252 vs 285\n"

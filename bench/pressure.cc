@@ -60,7 +60,8 @@ struct PointResult {
 
 // One sweep point: |n| PDUs through a pool of |pool_frames| with the hoarder
 // holding everything above |headroom| free frames (0 disables the hoarder).
-PointResult RunPoint(std::uint64_t pool_frames, std::uint64_t headroom, std::uint64_t n) {
+PointResult RunPoint(std::uint64_t pool_frames, std::uint64_t headroom, std::uint64_t n,
+                     std::string* attr_json = nullptr) {
   PointResult r;
   r.pool_frames = pool_frames;
   r.headroom = headroom;
@@ -177,6 +178,9 @@ PointResult RunPoint(std::uint64_t pool_frames, std::uint64_t headroom, std::uin
   }
   const HostAuditResult audit = InvariantAuditor::AuditHost("bench", machine, fsys);
   r.audit_passed = audit.passed;
+  if (attr_json != nullptr) {
+    *attr_json = TimeAttributionJson(machine);
+  }
   return r;
 }
 
@@ -203,10 +207,13 @@ int Main(int argc, char** argv) {
               "degr", "rest");
 
   JsonReport json("pressure");
+  std::string attr_json;
   std::vector<PointResult> results;
   for (const std::uint64_t pool : pools) {
     for (const std::uint64_t headroom : headrooms) {
-      const PointResult r = RunPoint(pool, headroom, n);
+      // The tightest point's breakdown (copy-path degradation visible as
+      // baseline/msg time) lands in the report; all conservation-checked.
+      const PointResult r = RunPoint(pool, headroom, n, &attr_json);
       results.push_back(r);
       std::printf("%8llu %9llu %9llu %9.1f Mb %6llu %6llu %7llu %7llu %6llu %6llu %6llu%s%s%s\n",
                   static_cast<unsigned long long>(r.pool_frames),
@@ -238,6 +245,7 @@ int Main(int argc, char** argv) {
           .Field("audit_passed", r.audit_passed ? 1.0 : 0.0);
     }
   }
+  json.RawSection("time_attribution", attr_json);
   json.Write();
 
   // --- Self-checks: the degradation must be graceful --------------------------

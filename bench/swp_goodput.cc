@@ -31,7 +31,7 @@ struct RunResult {
   std::uint64_t bytes_copied;
 };
 
-RunResult Run(std::uint32_t drop_percent) {
+RunResult Run(std::uint32_t drop_percent, std::string* attr_json = nullptr) {
   Machine machine{MachineConfig{}};
   FbufSystem fsys(&machine);
   Rpc rpc(&machine);
@@ -89,6 +89,9 @@ RunResult Run(std::uint32_t drop_percent) {
   loop.Run();
 
   const double seconds = (machine.clock().Now() - t0) / 1e9;
+  if (attr_json != nullptr) {
+    *attr_json = TimeAttributionJson(machine);
+  }
   return RunResult{sink.bytes_received() * 8.0 / seconds / 1e6,
                    static_cast<double>(sender.retransmissions()) / kMessages,
                    sender.timer_fires(), machine.stats().bytes_copied};
@@ -100,8 +103,11 @@ int Main() {
   std::printf("%8s %14s %14s %14s %14s\n", "loss-%", "goodput-Mbps", "retx/msg",
               "timer-fires", "bytes-copied");
   JsonReport report("swp_goodput");
+  std::string attr_json;
   for (const std::uint32_t loss : {0u, 5u, 10u, 20u, 40u, 60u}) {
-    const RunResult r = Run(loss);
+    // The last sweep point's attribution (60% loss: retransmission-heavy)
+    // lands in the report; every point is conservation-checked.
+    const RunResult r = Run(loss, &attr_json);
     std::printf("%8u %14.1f %14.2f %14llu %14llu\n", loss, r.goodput_mbps, r.retx_per_msg,
                 static_cast<unsigned long long>(r.timer_fires),
                 static_cast<unsigned long long>(r.bytes_copied));
@@ -112,6 +118,7 @@ int Main() {
         .Field("timer_fires", static_cast<double>(r.timer_fires))
         .Field("bytes_copied", static_cast<double>(r.bytes_copied));
   }
+  report.RawSection("time_attribution", attr_json);
   report.Write();
   std::printf(
       "\nreading: retransmissions grow with loss, yet bytes-copied stays zero — the\n"

@@ -3,6 +3,8 @@
 namespace fbufs {
 
 Status RemapTransfer::Alloc(Domain& originator, std::uint64_t bytes, BufferRef* ref) {
+  LayerScope layer(machine_->attribution(), CostDomain::kBaseline);
+  ActorScope actor(machine_->attribution(), originator.id());
   const std::uint64_t pages = PagesFor(bytes);
   auto va = shared_va_.Allocate(pages);
   if (!va.has_value()) {
@@ -33,14 +35,20 @@ Status RemapTransfer::Alloc(Domain& originator, std::uint64_t bytes, BufferRef* 
 }
 
 Status RemapTransfer::Send(BufferRef& ref, Domain& from, Domain& to) {
+  LayerScope layer(machine_->attribution(), CostDomain::kBaseline);
+  ActorScope actor(machine_->attribution(), from.id());
   return machine_->vm().Remap(from, ref.sender_addr, to, ref.sender_addr, ref.pages);
 }
 
 Status RemapTransfer::SendBack(BufferRef& ref, Domain& from, Domain& to) {
+  LayerScope layer(machine_->attribution(), CostDomain::kBaseline);
+  ActorScope actor(machine_->attribution(), from.id());
   return machine_->vm().Remap(from, ref.sender_addr, to, ref.sender_addr, ref.pages);
 }
 
 Status RemapTransfer::ReceiverFree(BufferRef& ref, Domain& receiver) {
+  LayerScope layer(machine_->attribution(), CostDomain::kBaseline);
+  ActorScope actor(machine_->attribution(), receiver.id());
   if (mode_ == Mode::kPingPong) {
     return Status::kOk;  // the buffer bounces back instead
   }
@@ -55,6 +63,8 @@ Status RemapTransfer::ReceiverFree(BufferRef& ref, Domain& receiver) {
 }
 
 Status RemapTransfer::SenderFree(BufferRef& ref, Domain& sender) {
+  LayerScope layer(machine_->attribution(), CostDomain::kBaseline);
+  ActorScope actor(machine_->attribution(), sender.id());
   // Move semantics: after Send the sender no longer owns the pages. Only a
   // buffer that was never sent (or bounced back in ping-pong) is released
   // here.

@@ -36,6 +36,30 @@ const char* FaultKindName(FaultAction::Kind k) {
   return "unknown";
 }
 
+void CampaignRunner::MarkPhase(const std::string& label) {
+  // One marker per distinct machine: the SWP host is usually also an
+  // audited host, and a duplicate marker would double up in the export.
+  std::vector<Machine*> seen;
+  for (const AuditedHost& h : audited_) {
+    seen.push_back(h.machine);
+  }
+  if (swp_machine_ != nullptr) {
+    bool dup = false;
+    for (Machine* m : seen) {
+      dup = dup || m == swp_machine_;
+    }
+    if (!dup) {
+      seen.push_back(swp_machine_);
+    }
+  }
+  for (Machine* m : seen) {
+    Trace& t = m->trace();
+    if (t.enabled(TraceCategory::kPhase)) {
+      t.Marker(t.Intern(label));
+    }
+  }
+}
+
 void CampaignRunner::TakeSample(const std::string& label) {
   Sample s;
   s.at = loop_->Now();
@@ -93,6 +117,7 @@ void CampaignRunner::Apply(const FaultAction& a) {
         loop_->Schedule(a.at + a.duration, "fault-restore/" + a.label,
                         [this, a, prev] {
                           TakeSample(a.label + "/restored");
+                          MarkPhase("fault/" + a.label + "/restored");
                           topo_->link(a.link).set_drop_percent(prev);
                         });
       }
@@ -106,6 +131,7 @@ void CampaignRunner::Apply(const FaultAction& a) {
         loop_->Schedule(a.at + a.duration, "fault-restore/" + a.label,
                         [this, a, prev] {
                           TakeSample(a.label + "/restored");
+                          MarkPhase("fault/" + a.label + "/restored");
                           ack_channel_->set_drop_percent(prev);
                         });
       }
@@ -120,6 +146,7 @@ void CampaignRunner::Apply(const FaultAction& a) {
         loop_->Schedule(a.at + a.duration, "fault-restore/" + a.label,
                         [this, a, prev] {
                           TakeSample(a.label + "/restored");
+                          MarkPhase("fault/" + a.label + "/restored");
                           topo_->switch_at(a.node)->set_port_queue_limit(a.port,
                                                                          prev);
                         });
@@ -139,6 +166,7 @@ void CampaignRunner::Apply(const FaultAction& a) {
 
 void CampaignRunner::Arm(const FaultSchedule& schedule) {
   TakeSample("start");
+  MarkPhase("campaign/start");
   for (const FaultAction& a : schedule.actions) {
     report_.AddScheduledFault(CampaignReport::ScheduledFault{
         a.label, FaultKindName(a.kind), a.at, a.duration, a.percent});
@@ -146,6 +174,7 @@ void CampaignRunner::Arm(const FaultSchedule& schedule) {
     // ending here reflects the regime before the knob turned.
     loop_->Schedule(a.at, "fault/" + a.label, [this, a] {
       TakeSample(a.label);
+      MarkPhase("fault/" + a.label);
       Apply(a);
     });
   }
@@ -179,6 +208,7 @@ CampaignReport CampaignRunner::Finish() {
   assert(!finished_ && "Finish() is one-shot");
   finished_ = true;
   TakeSample("end");
+  MarkPhase("campaign/end");
   RunAudit("final", /*include_swp=*/true);
 
   for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {

@@ -99,6 +99,10 @@ class CampaignRunner {
   };
 
   void TakeSample(const std::string& label);
+  // Drops a phase marker (campaign start, each fault, each restore, end)
+  // into the trace of every attached machine, so exported timelines carry
+  // the fault schedule alongside the kernel spans.
+  void MarkPhase(const std::string& label);
   void Apply(const FaultAction& a);
   void RunAudit(const std::string& label, bool include_swp);
   Machine* MachineFor(const FaultAction& a);

@@ -76,6 +76,11 @@ Status FbufSystem::Allocate(Domain& originator, PathId path, std::uint64_t bytes
   if (!originator.alive()) {
     return Status::kInvalidArgument;
   }
+  LayerScope layer(machine_->attribution(), CostDomain::kFbuf);
+  ActorScope actor(machine_->attribution(), originator.id());
+  PathScope pscope(machine_->attribution(), path);
+  TraceSpan span(machine_->trace(), TraceCategory::kFbuf, "fbuf-alloc", originator.id(), bytes);
+  const SimTime alloc_start = machine_->clock().Now();
   machine_->stats().fbuf_allocs++;
   // The watermark check: crossing the pool's high-pressure mark schedules an
   // evented reclamation sweep, so free lists and clean cache blocks drain
@@ -88,6 +93,10 @@ Status FbufSystem::Allocate(Domain& originator, PathId path, std::uint64_t bytes
       pressure_->OnAllocationFailure(PagesFor(bytes)) > 0) {
     // The emergency sweep found something to give back: one retry.
     st = AllocateInternal(originator, path, bytes, want_volatile, out, clear_pages);
+  }
+  if (Ok(st) && machine_->metrics() != nullptr) {
+    machine_->metrics()->GetHistogram("fbuf.alloc_latency_ns")
+        ->Observe(machine_->clock().Now() - alloc_start);
   }
   return st;
 }
@@ -349,9 +358,12 @@ Status FbufSystem::Transfer(Fbuf* fb, Domain& from, Domain& to, bool lazy) {
   if (!fb->IsHeldBy(from.id())) {
     return Status::kNotOwner;
   }
+  LayerScope layer(machine_->attribution(), CostDomain::kFbuf);
+  ActorScope actor(machine_->attribution(), from.id());
+  PathScope pscope(machine_->attribution(), fb->path);
   machine_->stats().fbuf_transfers++;
-  machine_->trace().Emit(TraceCategory::kFbuf, "transfer", fb->id,
-                         (static_cast<std::uint64_t>(from.id()) << 32) | to.id());
+  TraceSpan span(machine_->trace(), TraceCategory::kFbuf, "fbuf-transfer", fb->id,
+                 (static_cast<std::uint64_t>(from.id()) << 32) | to.id());
 
   // Eager immutability for non-volatile fbufs leaving an untrusted
   // originator.
@@ -416,6 +428,9 @@ Status FbufSystem::Secure(Fbuf* fb, Domain& requester) {
   if (fb->secured || (orig != nullptr && orig->trusted())) {
     return Status::kOk;  // no-op: already immutable or trusted originator
   }
+  LayerScope layer(machine_->attribution(), CostDomain::kFbuf);
+  ActorScope actor(machine_->attribution(), requester.id());
+  PathScope pscope(machine_->attribution(), fb->path);
   return SecureInternal(fb);
 }
 
@@ -446,6 +461,9 @@ Status FbufSystem::Free(Fbuf* fb, Domain& d) {
   if (fb == nullptr || fb->dead || fb->free_listed) {
     return Status::kInvalidArgument;
   }
+  LayerScope layer(machine_->attribution(), CostDomain::kFbuf);
+  ActorScope actor(machine_->attribution(), d.id());
+  PathScope pscope(machine_->attribution(), fb->path);
   auto it = std::find(fb->holders.begin(), fb->holders.end(), d.id());
   if (it == fb->holders.end()) {
     return Status::kNotOwner;
@@ -503,6 +521,8 @@ void FbufSystem::FlushNotices(DomainId holder, DomainId owner) {
   if (it == pending_notices_.end() || it->second.empty()) {
     return;
   }
+  LayerScope layer(machine_->attribution(), CostDomain::kFbuf);
+  ActorScope actor(machine_->attribution(), holder);
   // An explicit message: pay a crossing.
   Domain* h = machine_->domain(holder);
   Domain* o = machine_->domain(owner);
@@ -872,6 +892,8 @@ void FbufSystem::DropSwap(FbufId id) {
 }
 
 Status FbufSystem::RegionFault(Domain& d, Vpn vpn, Access access) {
+  LayerScope layer(machine_->attribution(), CostDomain::kFbuf);
+  ActorScope actor(machine_->attribution(), d.id());
   VmEntry* e = d.FindEntry(vpn);
   if (e != nullptr) {
     if (!Allows(e->prot, access)) {

@@ -4,6 +4,8 @@
 #define SRC_FBUF_PATH_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/fbuf/fbuf.h"
@@ -31,13 +33,42 @@ struct IoPath {
 
 class PathRegistry {
  public:
+  // An optional admission check consulted before any registration. The
+  // pressure manager installs one that refuses (kBackpressure) while any
+  // path on the host is degraded: a host shedding memory pressure should
+  // not take on new I/O paths, whose allocators would immediately deepen
+  // the shortage.
+  using AdmissionGate = std::function<Status()>;
+  void SetAdmissionGate(AdmissionGate gate) { gate_ = std::move(gate); }
+  void ClearAdmissionGate() { gate_ = nullptr; }
+
   // Registers a data path. |domains| must be non-empty; the first entry is
-  // the originator.
-  PathId Register(std::vector<DomainId> domains) {
+  // the originator. Refuses (without consuming an id) when the admission
+  // gate objects.
+  Status Register(std::vector<DomainId> domains, PathId* out) {
+    if (gate_ != nullptr) {
+      const Status st = gate_();
+      if (!Ok(st)) {
+        refused_++;
+        *out = kNoPath;
+        return st;
+      }
+    }
     const PathId id = static_cast<PathId>(paths_.size());
     paths_.push_back(IoPath{id, std::move(domains), true});
+    *out = id;
+    return Status::kOk;
+  }
+
+  // Legacy convenience: kNoPath signals refusal (callers allocate from the
+  // default, uncached allocator — correct, just not path-cached).
+  PathId Register(std::vector<DomainId> domains) {
+    PathId id = kNoPath;
+    Register(std::move(domains), &id);
     return id;
   }
+
+  std::uint64_t refused() const { return refused_; }
 
   const IoPath* Get(PathId id) const {
     if (id >= paths_.size() || !paths_[id].alive) {
@@ -58,6 +89,8 @@ class PathRegistry {
 
  private:
   std::vector<IoPath> paths_;
+  AdmissionGate gate_;
+  std::uint64_t refused_ = 0;
 };
 
 }  // namespace fbufs

@@ -12,6 +12,8 @@ void Rpc::ChargeCrossing(Domain& a, Domain& b) {
   if (a.id() == b.id()) {
     return;
   }
+  LayerScope layer(machine_->attribution(), CostDomain::kIpc);
+  ActorScope actor(machine_->attribution(), a.id());
   const CostParams& c = machine_->costs();
   const bool kernel_involved = a.id() == kKernelDomainId || b.id() == kKernelDomainId;
   machine_->trace().Emit(TraceCategory::kIpc, "crossing", a.id(), b.id());
@@ -23,6 +25,8 @@ Status Rpc::Invoke(Domain& caller, Domain& callee, const std::function<Status()>
   if (caller.id() == callee.id()) {
     return fn();
   }
+  TraceSpan span(machine_->trace(), TraceCategory::kIpc, "ipc-invoke", caller.id(),
+                 callee.id());
   ChargeCrossing(caller, callee);
   for (const PiggybackHook& hook : hooks_) {
     hook(caller, callee);
@@ -45,6 +49,8 @@ Status Rpc::Call(Domain& caller, ServiceId svc, RpcArgs& args) {
     return Status::kNotFound;
   }
   if (server->id() != caller.id()) {
+    TraceSpan span(machine_->trace(), TraceCategory::kIpc, "ipc-call", caller.id(),
+                   server->id());
     ChargeCrossing(caller, *server);
     for (const PiggybackHook& hook : hooks_) {
       hook(caller, *server);  // request direction

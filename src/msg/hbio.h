@@ -105,6 +105,8 @@ class HbioChannel {
   // avoids. Provided so applications can migrate incrementally.
   Status ReadCopy(const Message& m, void* buf, std::uint64_t len) {
     const std::uint64_t n = std::min(len, m.length());
+    LayerScope layer(fsys_->machine().attribution(), CostDomain::kMsg);
+    ActorScope actor(fsys_->machine().attribution(), consumer_->id());
     const Status st = m.CopyOut(*consumer_, 0, buf, n);
     if (!Ok(st)) {
       return st;

@@ -191,7 +191,11 @@ Status Message::Checksum(Domain& d, std::uint16_t* out) const {
   if (have_carry) {
     sum += static_cast<std::uint32_t>(carry_byte) << 8;
   }
-  d.machine().clock().Advance(d.machine().costs().ChecksumCost(length()));
+  {
+    LayerScope layer(d.machine().attribution(), CostDomain::kMsg);
+    ActorScope actor(d.machine().attribution(), d.id());
+    d.machine().clock().Advance(d.machine().costs().ChecksumCost(length()));
+  }
   while (sum >> 16) {
     sum = (sum & 0xffff) + (sum >> 16);
   }

@@ -1,0 +1,103 @@
+#include "src/obs/attribution.h"
+
+#include <sstream>
+
+namespace fbufs {
+
+const char* CostDomainName(CostDomain d) {
+  switch (d) {
+    case CostDomain::kVm:
+      return "vm";
+    case CostDomain::kFbuf:
+      return "fbuf";
+    case CostDomain::kIpc:
+      return "ipc";
+    case CostDomain::kBaseline:
+      return "baseline";
+    case CostDomain::kProto:
+      return "proto";
+    case CostDomain::kNet:
+      return "net";
+    case CostDomain::kCache:
+      return "cache";
+    case CostDomain::kMsg:
+      return "msg";
+    case CostDomain::kApp:
+      return "app";
+    case CostDomain::kWait:
+      return "wait";
+    case CostDomain::kOther:
+      return "other";
+    case CostDomain::kCount:
+      break;
+  }
+  return "?";
+}
+
+SimTime Attribution::ByLayer(CostDomain d) const {
+  SimTime sum = 0;
+  for (const auto& [key, ns] : cells_) {
+    if (key.layer == d) {
+      sum += ns;
+    }
+  }
+  return sum;
+}
+
+SimTime Attribution::ByDomain(DomainId d) const {
+  SimTime sum = 0;
+  for (const auto& [key, ns] : cells_) {
+    if (key.domain == d) {
+      sum += ns;
+    }
+  }
+  return sum;
+}
+
+SimTime Attribution::ByPath(AttrPathId p) const {
+  SimTime sum = 0;
+  for (const auto& [key, ns] : cells_) {
+    if (key.path == p) {
+      sum += ns;
+    }
+  }
+  return sum;
+}
+
+SimTime Attribution::Snapshot::ByLayer(CostDomain d) const {
+  SimTime sum = 0;
+  for (const auto& [key, ns] : cells) {
+    if (key.layer == d) {
+      sum += ns;
+    }
+  }
+  return sum;
+}
+
+Attribution::Snapshot Attribution::Snapshot::Since(const Snapshot& base) const {
+  Snapshot delta;
+  delta.total = total - base.total;
+  for (const auto& [key, ns] : cells) {
+    auto it = base.cells.find(key);
+    const SimTime before = it == base.cells.end() ? 0 : it->second;
+    if (ns > before) {
+      delta.cells[key] = ns - before;
+    }
+  }
+  return delta;
+}
+
+std::string Attribution::DebugString() const {
+  std::ostringstream os;
+  os << "total=" << total_ << "ns";
+  for (std::uint8_t i = 0; i < static_cast<std::uint8_t>(CostDomain::kCount); ++i) {
+    const CostDomain d = static_cast<CostDomain>(i);
+    const SimTime ns = ByLayer(d);
+    if (ns > 0) {
+      os << " " << CostDomainName(d) << "=" << ns;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace fbufs

@@ -1,0 +1,226 @@
+// Time-attribution profiler: where every simulated nanosecond went.
+//
+// The paper's whole argument is a cost decomposition (Tables 1/2 charge each
+// transfer facility per page for clearing, copying, mapping and TLB/cache
+// consistency). SimStats counts *operations*; this profiler accounts *time*,
+// broken down three ways at once:
+//
+//   * layer  (CostDomain) — which subsystem charged the clock (vm, fbuf,
+//     ipc, baseline, proto, net, cache, msg, app, wait);
+//   * actor  — the protection domain on whose behalf the charge was made;
+//   * path   — the I/O data path the work belonged to.
+//
+// The accumulator hangs off the host's SimClock via its charge hook, so
+// every clock movement — explicit Advance charges and event-delivery waits
+// alike — lands in exactly one (layer, actor, path) cell. That makes the
+// conservation invariant structural rather than aspirational:
+//
+//     sum over all cells == host clock elapsed, always.
+//
+// Charge sites tag themselves with cheap RAII scopes (LayerScope,
+// ActorScope, PathScope); the innermost layer wins, so VM work performed on
+// behalf of an fbuf transfer is attributed to the VM layer while the fbuf
+// bookkeeping around it stays with the fbuf layer. Untagged charges fall
+// into kOther — visible, never lost. Event-delivery waits (AdvanceTo) are
+// attributed to kWait. Attribution charges zero simulated time itself, so
+// enabling it cannot perturb any bench number.
+#ifndef SRC_OBS_ATTRIBUTION_H_
+#define SRC_OBS_ATTRIBUTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/sim/clock.h"
+#include "src/vm/types.h"
+
+namespace fbufs {
+
+// Mirrors src/fbuf/fbuf.h (not included here: obs sits below fbuf).
+using AttrPathId = std::uint32_t;
+inline constexpr AttrPathId kAttrNoPath = static_cast<AttrPathId>(-1);
+
+// The layer a clock charge belongs to. One value per subsystem that charges
+// simulated time, plus kWait (event-delivery idle time) and kOther (charges
+// no scope claimed).
+enum class CostDomain : std::uint8_t {
+  kVm = 0,    // page tables, TLB/cache consistency, faults, protection
+  kFbuf,      // fbuf allocation, transfer, caching, region bookkeeping
+  kIpc,       // cross-domain RPC crossings
+  kBaseline,  // copy / COW / remap comparison facilities
+  kProto,     // protocol processing (UDP/IP/SWP/test protocols)
+  kNet,       // device driver and adapter work
+  kCache,     // file cache disk access
+  kMsg,       // message-layer data touching (checksums, HBIO copies, fills)
+  kApp,       // application data touching (TouchRange word reads/writes)
+  kWait,      // clock moved to an event delivery time (host was idle)
+  kOther,     // charge with no enclosing scope
+  kCount,
+};
+
+const char* CostDomainName(CostDomain d);
+
+class Attribution {
+ public:
+  // One accumulation cell: (layer, acting domain, path). Ordered so
+  // serialization is deterministic.
+  struct Key {
+    CostDomain layer = CostDomain::kOther;
+    DomainId domain = kInvalidDomainId;
+    AttrPathId path = kAttrNoPath;
+
+    bool operator<(const Key& o) const {
+      if (layer != o.layer) {
+        return layer < o.layer;
+      }
+      if (domain != o.domain) {
+        return domain < o.domain;
+      }
+      return path < o.path;
+    }
+    bool operator==(const Key& o) const {
+      return layer == o.layer && domain == o.domain && path == o.path;
+    }
+  };
+
+  Attribution() { Revalidate(); }
+
+  Attribution(const Attribution&) = delete;
+  Attribution& operator=(const Attribution&) = delete;
+
+  // --- Recording (called from the SimClock charge hook) ----------------------
+  void Record(SimTime ns) {
+    *work_cell_ += ns;
+    total_ += ns;
+  }
+  void RecordWait(SimTime ns) {
+    *wait_cell_ += ns;
+    total_ += ns;
+  }
+
+  // The SimClock::ChargeHook thunk: |ctx| is the Attribution*.
+  static void ClockHook(void* ctx, SimTime ns, bool wait) {
+    auto* a = static_cast<Attribution*>(ctx);
+    if (wait) {
+      a->RecordWait(ns);
+    } else {
+      a->Record(ns);
+    }
+  }
+
+  // --- Context (scopes below maintain these) ---------------------------------
+  void PushLayer(CostDomain d) {
+    if (depth_ < kMaxDepth) {
+      stack_[depth_] = d;
+    }
+    depth_++;
+    Revalidate();
+  }
+  void PopLayer() {
+    depth_--;
+    Revalidate();
+  }
+  CostDomain CurrentLayer() const {
+    if (depth_ == 0) {
+      return CostDomain::kOther;
+    }
+    const std::size_t top = depth_ <= kMaxDepth ? depth_ - 1 : kMaxDepth - 1;
+    return stack_[top];
+  }
+
+  DomainId actor() const { return actor_; }
+  void SetActor(DomainId d) {
+    actor_ = d;
+    Revalidate();
+  }
+  AttrPathId path() const { return path_; }
+  void SetPath(AttrPathId p) {
+    path_ = p;
+    Revalidate();
+  }
+
+  // --- Inspection -------------------------------------------------------------
+  // Total attributed time. The conservation invariant: equals the host
+  // clock's Now() whenever the accumulator was attached at clock birth.
+  SimTime total() const { return total_; }
+
+  SimTime ByLayer(CostDomain d) const;
+  SimTime ByDomain(DomainId d) const;
+  SimTime ByPath(AttrPathId p) const;
+  const std::map<Key, SimTime>& cells() const { return cells_; }
+
+  // A value-semantics copy for windowed measurement (bench warmup).
+  struct Snapshot {
+    std::map<Key, SimTime> cells;
+    SimTime total = 0;
+
+    SimTime ByLayer(CostDomain d) const;
+    // Cell-wise difference against an earlier snapshot of the same
+    // accumulator (assumes monotonic growth).
+    Snapshot Since(const Snapshot& base) const;
+  };
+  Snapshot Take() const { return Snapshot{cells_, total_}; }
+
+  // Deterministic single-line summary (nonzero layers only), for debugging.
+  std::string DebugString() const;
+
+ private:
+  static constexpr std::size_t kMaxDepth = 16;
+
+  // Re-resolves the cached cell pointers after any context change; Record
+  // and RecordWait stay two additions each.
+  void Revalidate() {
+    work_cell_ = &cells_[Key{CurrentLayer(), actor_, path_}];
+    wait_cell_ = &cells_[Key{CostDomain::kWait, actor_, path_}];
+  }
+
+  std::map<Key, SimTime> cells_;
+  SimTime total_ = 0;
+  SimTime* work_cell_ = nullptr;
+  SimTime* wait_cell_ = nullptr;
+  CostDomain stack_[kMaxDepth] = {};
+  std::size_t depth_ = 0;
+  DomainId actor_ = kInvalidDomainId;
+  AttrPathId path_ = kAttrNoPath;
+};
+
+// --- Tagging scopes (RAII; nestable; innermost wins) ---------------------------
+
+class LayerScope {
+ public:
+  LayerScope(Attribution& a, CostDomain d) : a_(&a) { a_->PushLayer(d); }
+  ~LayerScope() { a_->PopLayer(); }
+  LayerScope(const LayerScope&) = delete;
+  LayerScope& operator=(const LayerScope&) = delete;
+
+ private:
+  Attribution* a_;
+};
+
+class ActorScope {
+ public:
+  ActorScope(Attribution& a, DomainId d) : a_(&a), prev_(a.actor()) { a_->SetActor(d); }
+  ~ActorScope() { a_->SetActor(prev_); }
+  ActorScope(const ActorScope&) = delete;
+  ActorScope& operator=(const ActorScope&) = delete;
+
+ private:
+  Attribution* a_;
+  DomainId prev_;
+};
+
+class PathScope {
+ public:
+  PathScope(Attribution& a, AttrPathId p) : a_(&a), prev_(a.path()) { a_->SetPath(p); }
+  ~PathScope() { a_->SetPath(prev_); }
+  PathScope(const PathScope&) = delete;
+  PathScope& operator=(const PathScope&) = delete;
+
+ private:
+  Attribution* a_;
+  AttrPathId prev_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_OBS_ATTRIBUTION_H_

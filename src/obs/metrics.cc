@@ -1,0 +1,62 @@
+#include "src/obs/metrics.h"
+
+#include <sstream>
+
+namespace fbufs {
+
+std::uint64_t Histogram::ApproxQuantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (static_cast<double>(seen) >= target) {
+      // Upper bound of bucket b: 2^(b+1) - 1 (saturating at uint64 max).
+      return b >= 63 ? UINT64_MAX : (std::uint64_t{2} << b) - 1;
+    }
+  }
+  return max_;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream os;
+  os << "{";
+  os << "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << c.value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\"" << name << "\":{\"value\":" << g.value()
+       << ",\"min\":" << g.min() << ",\"max\":" << g.max() << ",\"samples\":" << g.samples()
+       << "}";
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\"" << name << "\":{\"count\":" << h.count()
+       << ",\"sum\":" << h.sum() << ",\"min\":" << h.min() << ",\"max\":" << h.max()
+       << ",\"p50\":" << h.ApproxQuantile(0.5) << ",\"p99\":" << h.ApproxQuantile(0.99)
+       << ",\"buckets\":{";
+    bool bfirst = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.bucket(b) == 0) {
+        continue;
+      }
+      os << (bfirst ? "" : ",") << "\"" << b << "\":" << h.bucket(b);
+      bfirst = false;
+    }
+    os << "}}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace fbufs

@@ -1,0 +1,127 @@
+// Named metrics: counters, gauges and log-scale latency histograms.
+//
+// A MetricsRegistry is a flat, name-keyed bag of instruments that subsystems
+// opt into (a Machine carries an optional registry pointer; everything is
+// off — a null check — until a bench or test attaches one). Instruments are
+// created on first use and held by stable pointers, so hot paths pay one map
+// lookup at attach time, not per observation. Export is deterministic: the
+// registry serializes in name order with integer-only values, so same seed
+// means byte-identical JSON.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fbufs {
+
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(std::int64_t v) {
+    value_ = v;
+    if (v > max_) {
+      max_ = v;
+    }
+    if (v < min_) {
+      min_ = v;
+    }
+    samples_++;
+  }
+  std::int64_t value() const { return value_; }
+  std::int64_t max() const { return max_; }
+  std::int64_t min() const { return samples_ == 0 ? 0 : min_; }
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t max_ = 0;
+  std::int64_t min_ = INT64_MAX;
+  std::uint64_t samples_ = 0;
+};
+
+// Log2-bucketed histogram: bucket b counts observations in [2^b, 2^(b+1))
+// (bucket 0 additionally holds 0). 64 buckets cover the full uint64 range —
+// right for latencies spanning nanoseconds to seconds.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(std::uint64_t v) {
+    buckets_[BucketFor(v)]++;
+    count_++;
+    sum_ += v;
+    if (count_ == 1 || v < min_) {
+      min_ = v;
+    }
+    if (v > max_) {
+      max_ = v;
+    }
+  }
+
+  static int BucketFor(std::uint64_t v) {
+    if (v < 2) {
+      return 0;
+    }
+    int b = 0;
+    while (v > 1) {
+      v >>= 1;
+      b++;
+    }
+    return b;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t bucket(int b) const { return buckets_[b]; }
+
+  // Smallest bucket upper bound such that at least |q| (0..1) of the
+  // observations fall at or below it. A log-scale quantile: coarse but
+  // deterministic and allocation-free.
+  std::uint64_t ApproxQuantile(double q) const;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // Instruments are created on first request and live as long as the
+  // registry; returned pointers are stable.
+  Counter* GetCounter(const std::string& name) { return &counters_[name]; }
+  Gauge* GetGauge(const std::string& name) { return &gauges_[name]; }
+  Histogram* GetHistogram(const std::string& name) { return &histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  // Deterministic JSON object: {"counters":{...},"gauges":{...},
+  // "histograms":{...}} in name order, integer values only. Empty buckets
+  // are omitted from histogram serialization.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_OBS_METRICS_H_

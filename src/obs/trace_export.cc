@@ -1,0 +1,171 @@
+#include "src/obs/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace fbufs {
+
+namespace {
+
+// Lane (tid) per trace category inside a host process. Markers share the
+// phase lane.
+std::uint32_t TidFor(TraceCategory c) { return static_cast<std::uint32_t>(c); }
+
+}  // namespace
+
+std::string TraceExporter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+void TraceExporter::AppendTimestamp(std::string* out, SimTime ns) {
+  // Microseconds with nanosecond precision, integer arithmetic only.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000, ns % 1000);
+  out->append(buf);
+}
+
+void TraceExporter::AppendMeta(std::uint32_t pid, std::uint32_t tid, const char* what,
+                               const std::string& name) {
+  ExportEvent e;
+  e.pid = pid;
+  e.tid = tid;
+  e.ph = 'M';
+  e.name = what;
+  e.args = "\"name\":\"" + Escape(name) + "\"";
+  events_.push_back(std::move(e));
+}
+
+void TraceExporter::AddHost(const std::string& name, std::uint32_t pid, const Trace& trace) {
+  AppendMeta(pid, 0, "process_name", name);
+  for (std::uint8_t c = 0; c < static_cast<std::uint8_t>(TraceCategory::kCount); ++c) {
+    AppendMeta(pid, TidFor(static_cast<TraceCategory>(c)), "thread_name",
+               TraceCategoryName(static_cast<TraceCategory>(c)));
+  }
+  for (const TraceEvent& ev : trace.Snapshot()) {
+    ExportEvent e;
+    e.pid = pid;
+    e.tid = TidFor(ev.category);
+    e.ts = ev.time;
+    e.name = ev.what;
+    e.cat = TraceCategoryName(ev.category);
+    switch (ev.phase) {
+      case TracePhase::kBegin:
+        e.ph = 'B';
+        break;
+      case TracePhase::kEnd:
+        e.ph = 'E';
+        break;
+      case TracePhase::kMarker:
+        e.ph = 'i';
+        break;
+      case TracePhase::kInstant:
+        e.ph = 'i';
+        break;
+    }
+    if (e.ph != 'E') {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "\"a\":%" PRIu64 ",\"b\":%" PRIu64, ev.a, ev.b);
+      e.args = buf;
+    }
+    events_.push_back(std::move(e));
+  }
+}
+
+void TraceExporter::AddResource(const Resource& resource) {
+  const std::uint32_t tid = next_resource_tid_++;
+  if (tid == 0) {
+    AppendMeta(kResourcePid, 0, "process_name", "resources");
+  }
+  AppendMeta(kResourcePid, tid, "thread_name", resource.name());
+  for (const Resource::BusyInterval& iv : resource.intervals()) {
+    ExportEvent e;
+    e.pid = kResourcePid;
+    e.tid = tid;
+    e.ts = iv.start;
+    e.dur = iv.end - iv.start;
+    e.ph = 'X';
+    e.name = "busy";
+    e.cat = "resource";
+    events_.push_back(std::move(e));
+  }
+}
+
+std::string TraceExporter::ToJson() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const ExportEvent& e : events_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":\"";
+    out += Escape(e.name);
+    out += "\",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"pid\":";
+    out += std::to_string(e.pid);
+    out += ",\"tid\":";
+    out += std::to_string(e.tid);
+    if (e.ph != 'M') {
+      out += ",\"ts\":";
+      AppendTimestamp(&out, e.ts);
+    }
+    if (e.ph == 'X') {
+      out += ",\"dur\":";
+      AppendTimestamp(&out, e.dur);
+    }
+    if (e.ph == 'i') {
+      // Thread-scoped instants; markers read better process-wide but "t"
+      // keeps them on their category lane.
+      out += ",\"s\":\"t\"";
+    }
+    if (!e.cat.empty()) {
+      out += ",\"cat\":\"";
+      out += Escape(e.cat);
+      out += "\"";
+    }
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      out += e.args;
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+bool TraceExporter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ToJson();
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return n == json.size();
+}
+
+}  // namespace fbufs

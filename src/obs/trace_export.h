@@ -1,0 +1,71 @@
+// Chrome trace_event JSON export.
+//
+// Renders per-host Trace rings (spans, instants, phase markers) and
+// EventLoop Resource busy intervals into the Chrome trace_event format, so a
+// simulated run can be loaded into Perfetto (ui.perfetto.dev) or
+// chrome://tracing and inspected on a real timeline UI.
+//
+// Mapping: each host is a process (pid); within a host, each TraceCategory
+// is a thread lane (tid), so nested spans in one category render as a stack
+// and concurrent layers sit side by side. Resources get their own lanes of
+// "X" (complete) events under a shared "resources" pid. Phase markers become
+// process-scoped instants. Timestamps are simulated nanoseconds printed as
+// microseconds with three decimals — pure integer formatting, so export is
+// deterministic: same seed, byte-identical file.
+#ifndef SRC_OBS_TRACE_EXPORT_H_
+#define SRC_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/trace.h"
+
+namespace fbufs {
+
+class TraceExporter {
+ public:
+  // Adds one host's trace ring as a process lane group. |pid| must be unique
+  // per host; the snapshot is taken at call time.
+  void AddHost(const std::string& name, std::uint32_t pid, const Trace& trace);
+
+  // Adds a resource's recorded busy intervals (requires
+  // Resource::set_record_intervals(true) before the run) as a lane of "X"
+  // events under the shared resources process.
+  void AddResource(const Resource& resource);
+
+  // The complete trace document: {"traceEvents":[...],"displayTimeUnit":"ns"}.
+  std::string ToJson() const;
+
+  // Writes ToJson() to |path|; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  std::size_t event_count() const { return events_.size(); }
+
+ private:
+  struct ExportEvent {
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    SimTime ts = 0;
+    SimTime dur = 0;         // "X" events only
+    char ph = 'i';           // B, E, i, X, M
+    std::string name;
+    std::string args;        // pre-rendered JSON object body, may be empty
+    std::string cat;
+  };
+
+  void AppendMeta(std::uint32_t pid, std::uint32_t tid, const char* what,
+                  const std::string& name);
+
+  static std::string Escape(const std::string& s);
+  static void AppendTimestamp(std::string* out, SimTime ns);
+
+  std::vector<ExportEvent> events_;
+  std::uint32_t next_resource_tid_ = 0;
+  static constexpr std::uint32_t kResourcePid = 9999;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_OBS_TRACE_EXPORT_H_

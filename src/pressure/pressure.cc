@@ -7,9 +7,18 @@ namespace fbufs {
 PressureManager::PressureManager(FbufSystem* fsys, const PressureConfig& config)
     : fsys_(fsys), config_(config) {
   fsys_->SetPressureHooks(this);
+  // Pressure-aware admission: while any path on the host is degraded, new
+  // path registrations are refused with kBackpressure — a host that cannot
+  // serve its existing paths zero-copy should not accept more.
+  fsys_->paths().SetAdmissionGate([this] {
+    return AnyPathDegraded() ? Status::kBackpressure : Status::kOk;
+  });
 }
 
-PressureManager::~PressureManager() { fsys_->SetPressureHooks(nullptr); }
+PressureManager::~PressureManager() {
+  fsys_->paths().ClearAdmissionGate();
+  fsys_->SetPressureHooks(nullptr);
+}
 
 std::uint64_t PressureManager::FreeFrames() const {
   return fsys_->machine().pmem().free_frames();
@@ -89,6 +98,15 @@ std::uint64_t PressureManager::Sweep(std::uint64_t target_free) {
   stats.pressure_pages_reclaimed += freed;
   pages_reclaimed_ += freed;
   return freed;
+}
+
+bool PressureManager::AnyPathDegraded() {
+  for (const auto& [path, state] : path_states_) {
+    if (state.mode == PathMode::kDegraded && ModeFor(path) == PathMode::kDegraded) {
+      return true;
+    }
+  }
+  return false;
 }
 
 PathMode PressureManager::ModeFor(PathId path) {

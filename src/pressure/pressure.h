@@ -88,7 +88,14 @@ class PressureManager : public PressureHooks {
   void RecordAllocSuccess(PathId path);
 
   bool UnderPressure() const;
+
+  // True while any path this manager tracks is currently degraded (the
+  // auto-restore check in ModeFor applies, so a recovered pool reports
+  // false). Backs the path-registration admission gate.
+  bool AnyPathDegraded();
+
   std::uint64_t sweeps() const { return sweeps_; }
+  std::uint64_t admissions_refused() const { return fsys_->paths().refused(); }
   std::uint64_t pages_reclaimed() const { return pages_reclaimed_; }
   std::uint64_t degradations() const { return degradations_; }
   std::uint64_t restorations() const { return restorations_; }

@@ -23,6 +23,10 @@ std::uint16_t HeaderChecksum(const IpHeader& h) {
 Status IpProtocol::SendFragment(const Message& body, std::uint32_t id, std::uint64_t offset,
                                 std::uint64_t adu_length) {
   Machine& machine = *stack_->machine();
+  LayerScope layer(machine.attribution(), CostDomain::kProto);
+  ActorScope actor(machine.attribution(), domain()->id());
+  PathScope pscope(machine.attribution(), hdr_path_);
+  TraceSpan span(machine.trace(), TraceCategory::kProto, "ip-fragment", id, offset);
   machine.clock().Advance(machine.costs().proto_pdu_ns);
 
   Fbuf* hdr_fb = nullptr;
@@ -56,6 +60,10 @@ Status IpProtocol::Push(Message m) {
   if (total <= pdu_size_) {
     return SendFragment(m, id, 0, total);
   }
+  Machine& machine = *stack_->machine();
+  LayerScope layer(machine.attribution(), CostDomain::kProto);
+  ActorScope actor(machine.attribution(), domain()->id());
+  TraceSpan span(machine.trace(), TraceCategory::kProto, "ip-fragmentation", id, total);
   // Fragmentation does not disturb the original buffers: each fragment is an
   // offset/length view. The paper observes a fixed overhead once a message
   // needs fragmenting at all (the Figure 4 "anomaly").
@@ -72,6 +80,8 @@ Status IpProtocol::Push(Message m) {
 
 Status IpProtocol::Pop(Message m) {
   Machine& machine = *stack_->machine();
+  LayerScope layer(machine.attribution(), CostDomain::kProto);
+  ActorScope actor(machine.attribution(), domain()->id());
   machine.clock().Advance(machine.costs().proto_pdu_ns);
 
   IpHeader h;

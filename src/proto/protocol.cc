@@ -26,7 +26,12 @@ Status ProtocolStack::Deliver(const Message& m, Protocol* from, Protocol* to, bo
     return down ? to->Push(m) : to->Pop(m);
   }
 
-  // Proxy edge: a cross-domain invocation carrying the aggregate.
+  // Proxy edge: a cross-domain invocation carrying the aggregate. The
+  // crossing span encloses the transfers, so their VM map/fault spans nest
+  // inside it on the exported timeline.
+  TraceSpan span(machine_->trace(), TraceCategory::kIpc, "crossing", src.id(), dst.id());
+  LayerScope layer(machine_->attribution(), CostDomain::kProto);
+  ActorScope actor(machine_->attribution(), src.id());
   const std::vector<Fbuf*> fbufs = m.Fbufs();
   if (!config_.integrated) {
     // Steps 2a/3c of the base mechanism: build the fbuf list in the sender,

@@ -6,6 +6,12 @@ namespace fbufs {
 
 Status SwpProtocol::TransmitData(std::uint32_t seq, const Message& m) {
   Machine& machine = *stack_->machine();
+  LayerScope layer(machine.attribution(), CostDomain::kProto);
+  ActorScope actor(machine.attribution(), domain()->id());
+  PathScope pscope(machine.attribution(), hdr_path_);
+  // The send span encloses fragmentation (IP) and adapter work below.
+  TraceSpan span(machine.trace(), TraceCategory::kProto, "swp-send", seq, m.length());
+  send_time_[seq] = machine.clock().Now();
   machine.clock().Advance(machine.costs().proto_pdu_ns);
   Fbuf* hdr_fb = nullptr;
   Status st = stack_->fsys()->Allocate(*domain(), hdr_path_, sizeof(SwpHeader),
@@ -27,6 +33,10 @@ Status SwpProtocol::TransmitData(std::uint32_t seq, const Message& m) {
 
 Status SwpProtocol::TransmitAck() {
   Machine& machine = *stack_->machine();
+  LayerScope layer(machine.attribution(), CostDomain::kProto);
+  ActorScope actor(machine.attribution(), domain()->id());
+  PathScope pscope(machine.attribution(), hdr_path_);
+  TraceSpan span(machine.trace(), TraceCategory::kProto, "swp-ack", recv_next_, 0);
   machine.clock().Advance(machine.costs().proto_pdu_ns);
   Fbuf* hdr_fb = nullptr;
   Status st = stack_->fsys()->Allocate(*domain(), hdr_path_, sizeof(SwpHeader),
@@ -137,6 +147,10 @@ Status SwpProtocol::DeliverReady() {
 
 Status SwpProtocol::Pop(Message m) {
   Machine& machine = *stack_->machine();
+  LayerScope layer(machine.attribution(), CostDomain::kProto);
+  ActorScope actor(machine.attribution(), domain()->id());
+  PathScope pscope(machine.attribution(), hdr_path_);
+  TraceSpan span(machine.trace(), TraceCategory::kProto, "swp-recv", 0, m.length());
   machine.clock().Advance(machine.costs().proto_pdu_ns);
   SwpHeader h;
   Status st = m.CopyOut(*domain(), 0, &h, sizeof(h));
@@ -147,6 +161,15 @@ Status SwpProtocol::Pop(Message m) {
   if (h.type == SwpHeader::kAck) {
     // Cumulative: everything below h.seq is delivered; drop retentions.
     while (!outstanding_.empty() && outstanding_.begin()->first < h.seq) {
+      const std::uint32_t acked = outstanding_.begin()->first;
+      const auto sent = send_time_.find(acked);
+      if (sent != send_time_.end()) {
+        if (machine.metrics() != nullptr && machine.clock().Now() >= sent->second) {
+          machine.metrics()->GetHistogram("swp.rtt_ns")
+              ->Observe(machine.clock().Now() - sent->second);
+        }
+        send_time_.erase(sent);
+      }
       const Status free_st = stack_->FreeMessage(outstanding_.begin()->second, *domain());
       if (!Ok(free_st)) {
         return free_st;

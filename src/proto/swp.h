@@ -105,6 +105,11 @@ class SwpProtocol : public Protocol {
   std::uint32_t recv_next_ = 0;
   std::map<std::uint32_t, Message> stash_;
 
+  // Last transmit time per outstanding frame, for the RTT histogram.
+  // Retransmission restamps the frame (Karn-style: a retransmitted frame's
+  // sample measures its latest transmission, not the first).
+  std::map<std::uint32_t, SimTime> send_time_;
+
   std::uint64_t retransmissions_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t duplicates_dropped_ = 0;

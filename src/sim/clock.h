@@ -20,15 +20,36 @@ constexpr SimTime kSecond = 1000 * kMillisecond;
 
 // Monotonic simulated clock. Not thread safe; the simulator is
 // single-threaded and deterministic by design.
+//
+// An optional charge hook observes every clock movement (the time-attribution
+// profiler in src/obs hangs off it): work charges (Advance) and event-
+// delivery waits (AdvanceTo / AdvanceToAtLeast) are distinguished so idle
+// time is attributable separately. The hook is a plain function pointer —
+// one predictable branch per movement when unset, and it never charges
+// simulated time itself, so attaching it cannot change any simulated number.
 class SimClock {
  public:
+  // |wait| is true when the clock moved to an event delivery time rather
+  // than being charged for work.
+  using ChargeHook = void (*)(void* ctx, SimTime ns, bool wait);
+
   SimClock() = default;
 
   // Current simulated time since construction (or the last Reset).
   SimTime Now() const { return now_ns_; }
 
+  void SetChargeHook(ChargeHook hook, void* ctx) {
+    hook_ = hook;
+    hook_ctx_ = ctx;
+  }
+
   // Advances the clock by |ns| nanoseconds of simulated work.
-  void Advance(SimTime ns) { now_ns_ += ns; }
+  void Advance(SimTime ns) {
+    now_ns_ += ns;
+    if (hook_ != nullptr && ns > 0) {
+      hook_(hook_ctx_, ns, /*wait=*/false);
+    }
+  }
 
   // Moves the clock forward to the delivery time |t| of a scheduled event.
   // In the event-loop world a backwards delivery time is a scheduling bug,
@@ -38,7 +59,11 @@ class SimClock {
   void AdvanceTo(SimTime t) {
     assert(t >= now_ns_ && "SimClock::AdvanceTo: backwards delivery time (scheduling bug)");
     if (t > now_ns_) {
+      const SimTime delta = t - now_ns_;
       now_ns_ = t;
+      if (hook_ != nullptr) {
+        hook_(hook_ctx_, delta, /*wait=*/true);
+      }
     }
   }
 
@@ -47,7 +72,11 @@ class SimClock {
   // satisfied in the past (e.g. an acknowledgement that already arrived).
   void AdvanceToAtLeast(SimTime t) {
     if (t > now_ns_) {
+      const SimTime delta = t - now_ns_;
       now_ns_ = t;
+      if (hook_ != nullptr) {
+        hook_(hook_ctx_, delta, /*wait=*/true);
+      }
     }
   }
 
@@ -55,6 +84,8 @@ class SimClock {
 
  private:
   SimTime now_ns_ = 0;
+  ChargeHook hook_ = nullptr;
+  void* hook_ctx_ = nullptr;
 };
 
 }  // namespace fbufs

@@ -139,11 +139,23 @@ class Resource {
     if (end <= start) {
       return;
     }
+    if (record_intervals_) {
+      intervals_.push_back({start, end});
+    }
     if (start < window_start_) {
       start = end > window_start_ ? window_start_ : end;
     }
     busy_ns_ += end - start;
   }
+
+  // Busy-interval recording, for the trace exporter's per-resource lanes.
+  // Off by default (zero cost beyond one branch per RecordBusy).
+  struct BusyInterval {
+    SimTime start = 0;
+    SimTime end = 0;
+  };
+  void set_record_intervals(bool on) { record_intervals_ = on; }
+  const std::vector<BusyInterval>& intervals() const { return intervals_; }
 
   // Restarts utilization accounting at |at|; busy time before it no longer
   // counts (measurement begins after warmup).
@@ -194,6 +206,7 @@ class Resource {
     busy_ns_ = 0;
     window_start_ = 0;
     acquisitions_ = 0;
+    intervals_.clear();
   }
 
  private:
@@ -202,6 +215,8 @@ class Resource {
   SimTime busy_ns_ = 0;
   SimTime window_start_ = 0;
   std::uint64_t acquisitions_ = 0;
+  bool record_intervals_ = false;
+  std::vector<BusyInterval> intervals_;
 };
 
 }  // namespace fbufs

@@ -6,44 +6,25 @@ namespace fbufs {
 
 SimStats SimStats::Since(const SimStats& base) const {
   SimStats d;
-  d.pt_updates = pt_updates - base.pt_updates;
-  d.tlb_flushes = tlb_flushes - base.tlb_flushes;
-  d.tlb_misses = tlb_misses - base.tlb_misses;
-  d.page_faults = page_faults - base.page_faults;
-  d.prot_faults = prot_faults - base.prot_faults;
-  d.pages_cleared = pages_cleared - base.pages_cleared;
-  d.pages_swapped_out = pages_swapped_out - base.pages_swapped_out;
-  d.pages_swapped_in = pages_swapped_in - base.pages_swapped_in;
-  d.pages_allocated = pages_allocated - base.pages_allocated;
-  d.pages_freed = pages_freed - base.pages_freed;
-  d.bytes_copied = bytes_copied - base.bytes_copied;
-  d.va_allocs = va_allocs - base.va_allocs;
-  d.ipc_calls = ipc_calls - base.ipc_calls;
-  d.fbuf_allocs = fbuf_allocs - base.fbuf_allocs;
-  d.fbuf_cache_hits = fbuf_cache_hits - base.fbuf_cache_hits;
-  d.fbuf_transfers = fbuf_transfers - base.fbuf_transfers;
-  d.dealloc_notices = dealloc_notices - base.dealloc_notices;
-  d.dealloc_messages = dealloc_messages - base.dealloc_messages;
-  d.degraded_pdus = degraded_pdus - base.degraded_pdus;
-  d.pressure_sweeps = pressure_sweeps - base.pressure_sweeps;
-  d.pressure_pages_reclaimed = pressure_pages_reclaimed - base.pressure_pages_reclaimed;
+#define FBUFS_SIMSTATS_DIFF(name) d.name = name - base.name;
+  FBUFS_SIMSTATS_FIELDS(FBUFS_SIMSTATS_DIFF)
+#undef FBUFS_SIMSTATS_DIFF
   return d;
 }
 
 std::string SimStats::ToString() const {
   std::ostringstream os;
-  os << "pt_updates=" << pt_updates << " tlb_flushes=" << tlb_flushes
-     << " tlb_misses=" << tlb_misses << " page_faults=" << page_faults
-     << " prot_faults=" << prot_faults << " pages_cleared=" << pages_cleared
-     << "\npages_allocated=" << pages_allocated << " pages_freed=" << pages_freed
-     << " bytes_copied=" << bytes_copied << " va_allocs=" << va_allocs
-     << " ipc_calls=" << ipc_calls << "\nfbuf_allocs=" << fbuf_allocs
-     << " fbuf_cache_hits=" << fbuf_cache_hits << " fbuf_transfers=" << fbuf_transfers
-     << " dealloc_notices=" << dealloc_notices
-     << " dealloc_messages=" << dealloc_messages << "\ndegraded_pdus=" << degraded_pdus
-     << " pressure_sweeps=" << pressure_sweeps
-     << " pressure_pages_reclaimed=" << pressure_pages_reclaimed;
-  return os.str();
+  int col = 0;
+#define FBUFS_SIMSTATS_PRINT(name)                    \
+  os << #name << "=" << name;                         \
+  os << (++col % 5 == 0 ? "\n" : " ");
+  FBUFS_SIMSTATS_FIELDS(FBUFS_SIMSTATS_PRINT)
+#undef FBUFS_SIMSTATS_PRINT
+  std::string s = os.str();
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\n')) {
+    s.pop_back();
+  }
+  return s;
 }
 
 }  // namespace fbufs

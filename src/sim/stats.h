@@ -2,41 +2,60 @@
 //
 // Counters let tests assert on mechanism ("a cached reuse performs zero
 // page-table updates") and let benches decompose where time goes.
+//
+// The field list is an X-macro: Since(), ToString() and the metrics export
+// (src/obs/metrics.h users) all iterate FBUFS_SIMSTATS_FIELDS, so adding a
+// counter here is the only step — it can no longer silently vanish from
+// Since() because the author forgot to mirror it.
 #ifndef SRC_SIM_STATS_H_
 #define SRC_SIM_STATS_H_
 
 #include <cstdint>
 #include <string>
 
+// X(name) for every counter, in display order.
+#define FBUFS_SIMSTATS_FIELDS(X)                                                   \
+  X(pt_updates)              /* physical page-table entry updates */               \
+  X(tlb_flushes)             /* per-page TLB/cache consistency actions */          \
+  X(tlb_misses)              /* software-serviced TLB refills */                   \
+  X(page_faults)             /* faults taken (COW, zero-fill, absent) */           \
+  X(prot_faults)             /* access violations (protection errors) */           \
+  X(pages_cleared)           /* security page clears */                            \
+  X(pages_swapped_out)       /* fbuf pages written to backing store */             \
+  X(pages_swapped_in)        /* fbuf pages faulted back in */                      \
+  X(pages_allocated)         /* physical frames handed out */                      \
+  X(pages_freed)             /* physical frames returned */                        \
+  X(bytes_copied)            /* bytes physically copied */                         \
+  X(va_allocs)               /* virtual address range reservations */              \
+  X(ipc_calls)               /* cross-domain RPCs */                               \
+  X(fbuf_allocs)             /* fbuf allocations (cached hits included) */         \
+  X(fbuf_cache_hits)         /* allocations served from a free list */             \
+  X(fbuf_transfers)          /* cross-domain fbuf transfers */                     \
+  X(dealloc_notices)         /* piggybacked deallocation notices */                \
+  X(dealloc_messages)        /* explicit deallocation messages */                  \
+  X(degraded_pdus)           /* PDUs sent via the copy fallback */                 \
+  X(pressure_sweeps)         /* reclamation sweeps (evented + emergency) */        \
+  X(pressure_pages_reclaimed) /* pages recovered by sweeps */
+
 namespace fbufs {
 
 struct SimStats {
-  std::uint64_t pt_updates = 0;        // physical page-table entry updates
-  std::uint64_t tlb_flushes = 0;       // per-page TLB/cache consistency actions
-  std::uint64_t tlb_misses = 0;        // software-serviced TLB refills
-  std::uint64_t page_faults = 0;       // faults taken (COW, zero-fill, absent)
-  std::uint64_t prot_faults = 0;       // access violations (protection errors)
-  std::uint64_t pages_cleared = 0;     // security page clears
-  std::uint64_t pages_swapped_out = 0;  // fbuf pages written to backing store
-  std::uint64_t pages_swapped_in = 0;   // fbuf pages faulted back in
-  std::uint64_t pages_allocated = 0;   // physical frames handed out
-  std::uint64_t pages_freed = 0;       // physical frames returned
-  std::uint64_t bytes_copied = 0;      // bytes physically copied
-  std::uint64_t va_allocs = 0;         // virtual address range reservations
-  std::uint64_t ipc_calls = 0;         // cross-domain RPCs
-  std::uint64_t fbuf_allocs = 0;       // fbuf allocations (cached hits included)
-  std::uint64_t fbuf_cache_hits = 0;   // allocations served from a free list
-  std::uint64_t fbuf_transfers = 0;    // cross-domain fbuf transfers
-  std::uint64_t dealloc_notices = 0;   // piggybacked deallocation notices
-  std::uint64_t dealloc_messages = 0;  // explicit deallocation messages
-  std::uint64_t degraded_pdus = 0;     // PDUs sent via the copy fallback
-  std::uint64_t pressure_sweeps = 0;   // reclamation sweeps (evented + emergency)
-  std::uint64_t pressure_pages_reclaimed = 0;  // pages recovered by sweeps
+#define FBUFS_SIMSTATS_DECL(name) std::uint64_t name = 0;
+  FBUFS_SIMSTATS_FIELDS(FBUFS_SIMSTATS_DECL)
+#undef FBUFS_SIMSTATS_DECL
 
   void Reset() { *this = SimStats{}; }
 
   // Difference against an earlier snapshot (field-wise, assumes monotonic).
   SimStats Since(const SimStats& base) const;
+
+  // Visits every counter as (name, value) — the metrics export walks this.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+#define FBUFS_SIMSTATS_VISIT(name) fn(#name, name);
+    FBUFS_SIMSTATS_FIELDS(FBUFS_SIMSTATS_VISIT)
+#undef FBUFS_SIMSTATS_VISIT
+  }
 
   // Human-readable multi-line dump for benches and debugging.
   std::string ToString() const;

@@ -16,11 +16,31 @@ const char* TraceCategoryName(TraceCategory c) {
       return "proto";
     case TraceCategory::kNet:
       return "net";
+    case TraceCategory::kPhase:
+      return "phase";
     case TraceCategory::kCount:
       break;
   }
   return "?";
 }
+
+namespace {
+
+const char* PhaseSigil(TracePhase p) {
+  switch (p) {
+    case TracePhase::kInstant:
+      return " ";
+    case TracePhase::kBegin:
+      return ">";
+    case TracePhase::kEnd:
+      return "<";
+    case TracePhase::kMarker:
+      return "#";
+  }
+  return "?";
+}
+
+}  // namespace
 
 std::string Trace::Dump(std::size_t max) const {
   const std::vector<TraceEvent> events = Snapshot();
@@ -28,8 +48,9 @@ std::string Trace::Dump(std::size_t max) const {
   std::ostringstream os;
   for (std::size_t i = start; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
-    os << e.time / 1000 << "us [" << TraceCategoryName(e.category) << "] " << e.what << " a=0x"
-       << std::hex << e.a << " b=0x" << e.b << std::dec << "\n";
+    os << e.time / 1000 << "us [" << TraceCategoryName(e.category) << "]"
+       << PhaseSigil(e.phase) << " " << e.what << " a=0x" << std::hex << e.a << " b=0x" << e.b
+       << std::dec << "\n";
   }
   return os.str();
 }

@@ -40,6 +40,10 @@ SwitchNode::Outcome SwitchNode::Forward(std::uint32_t vci, std::uint64_t bytes,
   const SimTime done = p.line.Acquire(arrival, serialize);
   p.in_flight.push_back(done);
   p.forwarded++;
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("switch." + name_ + ".queue_depth")
+        ->Observe(p.in_flight.size());
+  }
   return {done, false};
 }
 

@@ -24,6 +24,7 @@
 
 #include "src/net/link.h"
 #include "src/sim/rng.h"
+#include "src/obs/metrics.h"
 #include "src/topo/sim_host.h"
 
 namespace fbufs {
@@ -112,6 +113,10 @@ class SwitchNode {
     return ports_[port].cfg.queue_pdus;
   }
 
+  // Optional metrics sink: each Forward observes the output port's queue
+  // depth (after enqueue) into "switch.<name>.queue_depth".
+  void AttachMetrics(MetricsRegistry* m) { metrics_ = m; }
+
   const std::string& name() const { return name_; }
   std::size_t port_count() const { return ports_.size(); }
   Resource& port_resource(std::size_t i) { return ports_[i].line; }
@@ -135,6 +140,7 @@ class SwitchNode {
   std::vector<Port> ports_;
   std::map<std::uint32_t, std::size_t> routes_;
   std::uint64_t unroutable_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 // The graph. Nodes are added in a fixed order (construction order is part of

@@ -17,6 +17,10 @@ Domain::Domain(Machine* machine, DomainId id, std::string name, bool trusted)
       tlb_(machine->tlb_entries(), &machine->clock(), &machine->costs(), &machine->stats()) {}
 
 Status Domain::Translate(Vpn vpn, Access access, FrameId* frame) {
+  // TLB refills and fault handling are VM-layer work no matter who touched
+  // the address.
+  LayerScope layer(machine_->attribution(), CostDomain::kVm);
+  ActorScope actor(machine_->attribution(), id_);
   // At most one fault retry: a successful fault installs a pmap entry the
   // refill can use; a second failure is a genuine violation.
   for (int attempt = 0; attempt < 2; ++attempt) {
@@ -38,6 +42,12 @@ Status Domain::Translate(Vpn vpn, Access access, FrameId* frame) {
 }
 
 Status Domain::ReadBytes(VirtAddr addr, void* dst, std::size_t len) {
+  Attribution& attr = machine_->attribution();
+  ActorScope actor(attr, id_);
+  // Data touching is application work unless an enclosing layer (msg, proto)
+  // already claimed it.
+  LayerScope layer(attr, attr.CurrentLayer() == CostDomain::kOther ? CostDomain::kApp
+                                                                   : attr.CurrentLayer());
   auto* out = static_cast<std::uint8_t*>(dst);
   while (len > 0) {
     const Vpn vpn = PageOf(addr);
@@ -58,6 +68,10 @@ Status Domain::ReadBytes(VirtAddr addr, void* dst, std::size_t len) {
 }
 
 Status Domain::WriteBytes(VirtAddr addr, const void* src, std::size_t len) {
+  Attribution& attr = machine_->attribution();
+  ActorScope actor(attr, id_);
+  LayerScope layer(attr, attr.CurrentLayer() == CostDomain::kOther ? CostDomain::kApp
+                                                                   : attr.CurrentLayer());
   const auto* in = static_cast<const std::uint8_t*>(src);
   while (len > 0) {
     const Vpn vpn = PageOf(addr);

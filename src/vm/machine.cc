@@ -9,6 +9,9 @@ Machine::Machine(const MachineConfig& config)
       costs_(config.costs),
       pmem_(config.phys_frames, &clock_, &costs_, &stats_),
       vm_(this) {
+  // Attach the time-attribution profiler before any charge can occur, so
+  // attr_.total() == clock_.Now() holds for the Machine's whole life.
+  clock_.SetChargeHook(&Attribution::ClockHook, &attr_);
   domains_.push_back(std::make_unique<Domain>(this, kKernelDomainId, "kernel",
                                               /*trusted=*/true));
 }

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/attribution.h"
+#include "src/obs/metrics.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/phys_mem.h"
@@ -44,6 +46,14 @@ class Machine {
   PhysMem& pmem() { return pmem_; }
   VmManager& vm() { return vm_; }
   Trace& trace() { return trace_; }
+  Attribution& attribution() { return attr_; }
+  const Attribution& attribution() const { return attr_; }
+
+  // Optional metrics sink; null until a bench or test attaches one. Hot
+  // paths guard every observation with this null check.
+  MetricsRegistry* metrics() { return metrics_; }
+  void AttachMetrics(MetricsRegistry* m) { metrics_ = m; }
+
   const std::string& name() const { return config_.name; }
   std::uint32_t tlb_entries() const { return config_.tlb_entries; }
 
@@ -74,7 +84,9 @@ class Machine {
  private:
   MachineConfig config_;
   SimClock clock_;
+  Attribution attr_;
   Trace trace_{&clock_};
+  MetricsRegistry* metrics_ = nullptr;
   CostParams costs_;
   SimStats stats_;
   PhysMem pmem_;

@@ -30,6 +30,8 @@ const char* StatusName(Status s) {
       return "not-found";
     case Status::kTruncated:
       return "truncated";
+    case Status::kBackpressure:
+      return "backpressure";
   }
   return "unknown";
 }

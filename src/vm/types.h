@@ -62,6 +62,7 @@ enum class Status : std::uint8_t {
   kExhausted,       // resource (port queue, window) exhausted
   kNotFound,
   kTruncated,       // reassembly/extract produced fewer bytes than asked
+  kBackpressure,    // refused while the host sheds memory pressure
 };
 
 const char* StatusName(Status s);

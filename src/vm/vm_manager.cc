@@ -29,6 +29,8 @@ Status VmManager::MapAnonymous(Domain& d, VirtAddr base, std::uint64_t pages, Pr
                                bool eager, bool clear, ChargeMode mode) {
   SimClock& clock = machine_->clock();
   const CostParams& c = machine_->costs();
+  LayerScope layer(machine_->attribution(), CostDomain::kVm);
+  ActorScope actor(machine_->attribution(), d.id());
   for (std::uint64_t i = 0; i < pages; ++i) {
     const Vpn vpn = PageOf(base) + i;
     assert(d.FindEntry(vpn) == nullptr && "mapping over an existing page");
@@ -58,7 +60,9 @@ Status VmManager::MapAnonymous(Domain& d, VirtAddr base, std::uint64_t pages, Pr
 Status VmManager::MapFrame(Domain& d, Vpn vpn, FrameId frame, Prot prot, ChargeMode mode) {
   SimClock& clock = machine_->clock();
   const CostParams& c = machine_->costs();
-  machine_->trace().Emit(TraceCategory::kVm, "map-frame", d.id(), AddrOf(vpn));
+  LayerScope layer(machine_->attribution(), CostDomain::kVm);
+  ActorScope actor(machine_->attribution(), d.id());
+  TraceSpan span(machine_->trace(), TraceCategory::kVm, "map-frame", d.id(), AddrOf(vpn));
   machine_->pmem().Ref(frame);
   VmEntry* existing = d.FindEntry(vpn);
   if (existing != nullptr) {
@@ -85,6 +89,8 @@ Status VmManager::MapFrame(Domain& d, Vpn vpn, FrameId frame, Prot prot, ChargeM
 Status VmManager::Unmap(Domain& d, VirtAddr base, std::uint64_t pages, ChargeMode mode) {
   SimClock& clock = machine_->clock();
   const CostParams& c = machine_->costs();
+  LayerScope layer(machine_->attribution(), CostDomain::kVm);
+  ActorScope actor(machine_->attribution(), d.id());
   for (std::uint64_t i = 0; i < pages; ++i) {
     const Vpn vpn = PageOf(base) + i;
     VmEntry* e = d.FindEntry(vpn);
@@ -111,6 +117,8 @@ Status VmManager::Protect(Domain& d, VirtAddr base, std::uint64_t pages, Prot pr
                           bool trap_inclusive) {
   SimClock& clock = machine_->clock();
   const CostParams& c = machine_->costs();
+  LayerScope layer(machine_->attribution(), CostDomain::kVm);
+  ActorScope actor(machine_->attribution(), d.id());
   machine_->trace().Emit(TraceCategory::kVm, "protect", d.id(), base);
   for (std::uint64_t i = 0; i < pages; ++i) {
     const Vpn vpn = PageOf(base) + i;
@@ -187,6 +195,8 @@ Status VmManager::Remap(Domain& src, VirtAddr src_base, Domain& dst, VirtAddr ds
                         std::uint64_t pages) {
   SimClock& clock = machine_->clock();
   const CostParams& c = machine_->costs();
+  LayerScope layer(machine_->attribution(), CostDomain::kVm);
+  ActorScope actor(machine_->attribution(), dst.id());
   for (std::uint64_t i = 0; i < pages; ++i) {
     const Vpn svpn = PageOf(src_base) + i;
     const Vpn dvpn = PageOf(dst_base) + i;
@@ -224,6 +234,9 @@ Status VmManager::HandleFault(Domain& d, Vpn vpn, Access access) {
   SimClock& clock = machine_->clock();
   const CostParams& c = machine_->costs();
   SimStats& stats = machine_->stats();
+  LayerScope layer(machine_->attribution(), CostDomain::kVm);
+  ActorScope actor(machine_->attribution(), d.id());
+  TraceSpan span(machine_->trace(), TraceCategory::kVm, "vm-fault", d.id(), AddrOf(vpn));
   VmEntry* e = d.FindEntry(vpn);
 
   // The fbuf region has its own fault semantics (absent-data reads, lazy

@@ -321,6 +321,63 @@ TEST(Degradation, ZeroCopyModeHandsTheRetentionReferenceToTheCaller) {
 
 // --- Allocation-failure cleanup ----------------------------------------------
 
+// --- Pressure-aware admission (PathRegistry gate) ----------------------------
+
+TEST(Admission, RegistrationRefusedWhileAnyPathIsDegraded) {
+  World w(SmallPool(64));
+  PressureConfig pc;
+  pc.low_free_frames = 8;
+  pc.high_free_frames = 48;
+  pc.degrade_after_failures = 1;
+  PressureManager pm(&w.fsys, pc);
+  Domain* src = w.AddDomain("src");
+  Domain* dst = w.AddDomain("dst");
+  const PathId path = w.fsys.paths().Register({src->id(), dst->id()});
+
+  // Pin half the pool (free stays under the high watermark) and degrade.
+  Fbuf* pin = nullptr;
+  ASSERT_TRUE(Ok(w.fsys.Allocate(*src, kNoPath, 32 * kPageSize, false, &pin)));
+  ASSERT_LT(w.machine.pmem().free_frames(), pc.high_free_frames);
+  ASSERT_EQ(pm.RecordAllocFailure(path), PathMode::kDegraded);
+  EXPECT_TRUE(pm.AnyPathDegraded());
+
+  // A host shedding pressure refuses new I/O paths — without consuming an
+  // id or touching the registry.
+  const std::size_t paths_before = w.fsys.paths().size();
+  PathId refused = 0;
+  EXPECT_EQ(w.fsys.paths().Register({src->id(), dst->id()}, &refused),
+            Status::kBackpressure);
+  EXPECT_EQ(refused, kNoPath);
+  EXPECT_EQ(w.fsys.paths().size(), paths_before);
+  EXPECT_EQ(w.fsys.paths().refused(), 1u);
+  EXPECT_EQ(pm.admissions_refused(), 1u);
+  // The legacy single-result Register signals the same refusal as kNoPath.
+  EXPECT_EQ(w.fsys.paths().Register({src->id(), dst->id()}), kNoPath);
+  EXPECT_EQ(pm.admissions_refused(), 2u);
+
+  // Releasing the pin recovers the pool past the high watermark; the gate
+  // rechecks ModeFor, so auto-restore reopens admission.
+  ASSERT_TRUE(Ok(w.fsys.Free(pin, *src)));
+  EXPECT_FALSE(pm.AnyPathDegraded());
+  PathId ok_id = kNoPath;
+  EXPECT_EQ(w.fsys.paths().Register({src->id(), dst->id()}, &ok_id),
+            Status::kOk);
+  EXPECT_NE(ok_id, kNoPath);
+}
+
+TEST(Admission, GateIsRemovedWithItsManager) {
+  World w(SmallPool(64));
+  Domain* src = w.AddDomain("src");
+  {
+    PressureConfig pc;
+    PressureManager pm(&w.fsys, pc);
+  }
+  // The dtor cleared the gate: registration proceeds unconditionally.
+  PathId id = kNoPath;
+  EXPECT_EQ(w.fsys.paths().Register({src->id()}, &id), Status::kOk);
+  EXPECT_NE(id, kNoPath);
+}
+
 TEST(AllocFailure, CacheHitReuseRollsBackWhenRematerializationFails) {
   World w(SmallPool(16));
   Domain* src = w.AddDomain("src");

@@ -33,7 +33,9 @@ TEST(Trace, RecordsFbufLifecycle) {
   ASSERT_EQ(w.fsys.Free(fb, *a), Status::kOk);
   Trace& t = w.machine.trace();
   EXPECT_EQ(t.Count("alloc-carve"), 1u);
-  EXPECT_EQ(t.Count("transfer"), 1u);
+  // Transfer is a span since the observability layer landed: one Begin plus
+  // one End.
+  EXPECT_EQ(t.Count("fbuf-transfer"), 2u);
   EXPECT_EQ(t.Count("return-to-owner"), 1u);
   // The second allocation is a recorded cache hit.
   ASSERT_EQ(w.fsys.Allocate(*a, p, kPageSize, true, &fb), Status::kOk);
@@ -68,6 +70,34 @@ TEST(Trace, RingBufferWrapsKeepingNewest) {
   ASSERT_EQ(events.size(), 4u);
   EXPECT_EQ(events.front().a, 6u);  // oldest surviving
   EXPECT_EQ(events.back().a, 9u);   // newest
+}
+
+// Regression: Count used pointer equality only, so after a wrap (or with a
+// label reaching the ring through two different pointers, e.g. Intern'd
+// copies) identical strings were missed. Snapshot order must also survive
+// the wrap.
+TEST(Trace, CountMatchesEqualStringsAfterWrap) {
+  SimClock clock;
+  Trace t(&clock, /*capacity=*/4);
+  t.EnableAll();
+  const std::string label = "ev";  // distinct pointer from the literal below
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    clock.Advance(1);
+    // Alternate between the literal and an interned copy: same bytes,
+    // different addresses.
+    if (i % 2 == 0) {
+      t.Emit(TraceCategory::kVm, "ev", i, 0);
+    } else {
+      t.Emit(TraceCategory::kVm, t.Intern(label), i, 0);
+    }
+  }
+  // The ring wrapped (6 > 4); all four survivors carry the same label text.
+  EXPECT_EQ(t.Count("ev"), 4u);
+  const auto events = t.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, i + 2);  // oldest surviving is event #2
+  }
 }
 
 TEST(Trace, EventsCarrySimulatedTime) {

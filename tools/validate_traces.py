@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Validates Chrome trace_event exports (TRACE_*.json).
+
+Checks, per file: the document parses, traceEvents is non-empty, every
+begin span has a matching end (per pid/tid the B/E stream must be properly
+bracketed), and at least one instant (phase marker) is present. Exits
+non-zero on the first violation. Used by CI after bench/campaigns runs.
+"""
+import json
+import sys
+
+
+def validate(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    if not events:
+        raise SystemExit(f"{path}: empty traceEvents")
+    stacks = {}
+    begins = ends = instants = 0
+    for e in events:
+        ph = e["ph"]
+        lane = (e.get("pid"), e.get("tid"))
+        if ph == "B":
+            begins += 1
+            stacks.setdefault(lane, []).append(e["name"])
+        elif ph == "E":
+            ends += 1
+            stack = stacks.get(lane)
+            if not stack:
+                raise SystemExit(f"{path}: E without B on lane {lane}: {e['name']}")
+            stack.pop()
+        elif ph == "i":
+            instants += 1
+    if begins != ends:
+        raise SystemExit(f"{path}: unbalanced spans ({begins} B vs {ends} E)")
+    for lane, stack in stacks.items():
+        if stack:
+            raise SystemExit(f"{path}: {len(stack)} unclosed span(s) on lane {lane}")
+    if instants == 0:
+        raise SystemExit(f"{path}: no instants (phase markers missing)")
+    print(f"{path}: {len(events)} events, {begins} spans, {instants} instants")
+
+
+def main(argv):
+    if len(argv) < 2:
+        raise SystemExit("usage: validate_traces.py TRACE_a.json [TRACE_b.json ...]")
+    for path in argv[1:]:
+        validate(path)
+
+
+if __name__ == "__main__":
+    main(sys.argv)
