@@ -8,7 +8,7 @@
 #include <cstring>
 
 #include "bench/bench_util.h"
-#include "src/net/testbed.h"
+#include "src/topo/testbed.h"
 
 namespace fbufs {
 namespace bench {

@@ -8,7 +8,7 @@
 // shared libraries and shows how much of the medium-size gap it explains.
 #include <cstdio>
 
-#include "src/net/testbed.h"
+#include "src/topo/testbed.h"
 
 namespace fbufs {
 namespace bench {

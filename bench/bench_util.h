@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -212,14 +213,34 @@ class JsonReport {
 
 // --- Time attribution --------------------------------------------------------
 
+// Optional extras for TimeAttributionJson. The defaults reproduce the
+// historical section byte-for-byte, so frozen BENCH_*.json files never move.
+struct AttributionJsonOptions {
+  // Emit "by_path": attributed ns per I/O path ("none" = untagged charges).
+  bool per_path = false;
+  // Emit "by_cpu": one entry per CPU lane, each hard-checked against that
+  // lane's clock (per-lane conservation, exact to the nanosecond).
+  bool per_cpu = false;
+  // When >= 0, emit "dispatch_wait_ns": aggregate dispatch-queue wait. Wait
+  // is queueing latency (work parked while its lane served someone else),
+  // not CPU time, so it is reported beside the by_layer split, not in it.
+  long long dispatch_wait_ns = -1;
+};
+
 // Renders a machine's time-attribution state as a JSON object for a
-// JsonReport "time_attribution" section, after hard-checking conservation.
-// abort() rather than assert(): benches build RelWithDebInfo, where NDEBUG
-// would silence an assert, and a conservation hole must never ship silently
-// inside a BENCH_*.json.
-inline std::string TimeAttributionJson(Machine& m) {
+// JsonReport "time_attribution" section, after hard-checking conservation:
+// attributed time must equal the sum of the machine's CPU-lane clocks (a
+// single-CPU machine's lane 0 is its host clock, so this is the historical
+// check there). abort() rather than assert(): benches build RelWithDebInfo,
+// where NDEBUG would silence an assert, and a conservation hole must never
+// ship silently inside a BENCH_*.json.
+inline std::string TimeAttributionJson(Machine& m,
+                                       const AttributionJsonOptions& opts = {}) {
   const Attribution& attr = m.attribution();
-  const SimTime now = m.clock().Now();
+  SimTime now = 0;
+  for (std::uint32_t c = 0; c < m.num_cpus(); ++c) {
+    now += m.cpu_clock(c).Now();
+  }
   if (attr.total() != now) {
     std::fprintf(stderr,
                  "time-attribution conservation violated on %s: attributed "
@@ -242,13 +263,57 @@ inline std::string TimeAttributionJson(Machine& m) {
     out += "\"" + std::string(CostDomainName(d)) + "\": " + std::to_string(ns);
     first = false;
   }
-  out += "}\n  }";
+  out += "}";
+  if (opts.per_path) {
+    // Collect the distinct paths from the cell map (already path-sorted
+    // within a layer, so gather into an ordered set for determinism).
+    std::map<AttrPathId, SimTime> by_path;
+    for (const auto& [key, ns] : attr.cells()) {
+      by_path[key.path] += ns;
+    }
+    out += ",\n    \"by_path\": {";
+    first = true;
+    for (const auto& [p, ns] : by_path) {
+      if (ns == 0) {
+        continue;
+      }
+      out += first ? "" : ", ";
+      out += "\"" +
+             (p == kAttrNoPath ? std::string("none") : std::to_string(p)) +
+             "\": " + std::to_string(ns);
+      first = false;
+    }
+    out += "}";
+  }
+  if (opts.per_cpu) {
+    out += ",\n    \"by_cpu\": [";
+    for (std::uint32_t c = 0; c < m.num_cpus(); ++c) {
+      const SimTime lane_ns = attr.ByCpu(c);
+      const SimTime lane_clock = m.cpu_clock(c).Now();
+      if (lane_ns != lane_clock) {
+        std::fprintf(
+            stderr,
+            "per-lane attribution conservation violated on %s cpu%u: "
+            "attributed %llu ns, lane clock %llu ns\n",
+            m.name().c_str(), c, static_cast<unsigned long long>(lane_ns),
+            static_cast<unsigned long long>(lane_clock));
+        std::abort();
+      }
+      out += (c == 0 ? "" : ", ") + std::to_string(lane_ns);
+    }
+    out += "]";
+  }
+  if (opts.dispatch_wait_ns >= 0) {
+    out += ",\n    \"dispatch_wait_ns\": " + std::to_string(opts.dispatch_wait_ns);
+  }
+  out += "\n  }";
   return out;
 }
 
 // The common case: attach the machine's whole-run attribution to a report.
-inline void AddTimeAttribution(JsonReport& report, Machine& m) {
-  report.RawSection("time_attribution", TimeAttributionJson(m));
+inline void AddTimeAttribution(JsonReport& report, Machine& m,
+                               const AttributionJsonOptions& opts = {}) {
+  report.RawSection("time_attribution", TimeAttributionJson(m, opts));
 }
 
 inline void PrintHeader(const std::string& title) {

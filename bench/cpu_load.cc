@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/net/testbed.h"
+#include "src/topo/testbed.h"
 
 namespace fbufs {
 namespace bench {

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/net/testbed.h"
+#include "src/topo/testbed.h"
 
 namespace fbufs {
 namespace bench {

@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/net/testbed.h"
+#include "src/topo/testbed.h"
 
 using namespace fbufs;
 

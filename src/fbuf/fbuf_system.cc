@@ -34,6 +34,35 @@ FbufSystem::Allocator& FbufSystem::GetAllocator(DomainId domain, PathId path, bo
   return it->second;
 }
 
+std::map<std::uint64_t, std::vector<FbufId>>& FbufSystem::CpuFreeLists(Allocator& a) {
+  if (a.cpu_free_lists.size() < machine_->num_cpus()) {
+    a.cpu_free_lists.resize(machine_->num_cpus());
+  }
+  return a.cpu_free_lists[machine_->active_cpu()];
+}
+
+std::vector<std::map<std::uint64_t, std::vector<FbufId>>*> FbufSystem::AllFreeListMaps(
+    Allocator& a) {
+  std::vector<std::map<std::uint64_t, std::vector<FbufId>>*> maps;
+  maps.reserve(1 + a.cpu_free_lists.size());
+  maps.push_back(&a.free_lists);
+  for (auto& m : a.cpu_free_lists) {
+    maps.push_back(&m);
+  }
+  return maps;
+}
+
+std::vector<const std::map<std::uint64_t, std::vector<FbufId>>*> FbufSystem::AllFreeListMaps(
+    const Allocator& a) {
+  std::vector<const std::map<std::uint64_t, std::vector<FbufId>>*> maps;
+  maps.reserve(1 + a.cpu_free_lists.size());
+  maps.push_back(&a.free_lists);
+  for (const auto& m : a.cpu_free_lists) {
+    maps.push_back(&m);
+  }
+  return maps;
+}
+
 Status FbufSystem::GrowAllocator(Allocator& a, std::uint64_t pages) {
   // Round the request up to whole chunks; grab them contiguously so a single
   // fbuf can span them.
@@ -116,10 +145,20 @@ Status FbufSystem::AllocateInternal(Domain& originator, PathId path, std::uint64
 
   // Fast path: reuse a cached fbuf of the right size. LIFO order keeps the
   // warmest (most likely memory-resident) fbuf on top; the FIFO ablation
-  // takes from the cold end instead.
+  // takes from the cold end instead. On a multicore machine the allocating
+  // lane's own cache is tried first (warm for this CPU), falling back to the
+  // shared lists before carving.
   if (cached) {
-    auto it = a.free_lists.find(pages);
-    if (it != a.free_lists.end() && !it->second.empty()) {
+    std::map<std::uint64_t, std::vector<FbufId>>* lists = &a.free_lists;
+    if (machine_->num_cpus() > 1) {
+      auto& mine = CpuFreeLists(a);
+      auto cit = mine.find(pages);
+      if (cit != mine.end() && !cit->second.empty()) {
+        lists = &mine;
+      }
+    }
+    auto it = lists->find(pages);
+    if (it != lists->end() && !it->second.empty()) {
       FbufId reuse_id;
       if (config_.lifo_free_lists) {
         reuse_id = it->second.back();
@@ -246,18 +285,23 @@ std::uint64_t FbufSystem::ShrinkDomainFreeLists(DomainId d, std::uint64_t pages_
     if (a.domain != d) {
       continue;
     }
-    for (auto& [pages, list] : a.free_lists) {
-      // Coldest first: the front of each list is the least recently freed.
-      while (!list.empty() && released < pages_needed) {
-        const FbufId id = list.front();
-        list.erase(list.begin());
-        Fbuf* fb = fbufs_[id].get();
-        if (fb->dead || !fb->free_listed) {
-          continue;
+    for (auto* lists : AllFreeListMaps(a)) {
+      for (auto& [pages, list] : *lists) {
+        // Coldest first: the front of each list is the least recently freed.
+        while (!list.empty() && released < pages_needed) {
+          const FbufId id = list.front();
+          list.erase(list.begin());
+          Fbuf* fb = fbufs_[id].get();
+          if (fb->dead || !fb->free_listed) {
+            continue;
+          }
+          fb->free_listed = false;
+          released += fb->pages;
+          DestroyFbuf(fb);
         }
-        fb->free_listed = false;
-        released += fb->pages;
-        DestroyFbuf(fb);
+        if (released >= pages_needed) {
+          break;
+        }
       }
       if (released >= pages_needed) {
         break;
@@ -277,17 +321,19 @@ std::uint64_t FbufSystem::ShrinkIdlePaths(SimTime idle_ns) {
     if (!a.cached || a.defunct || now - a.last_alloc < idle_ns) {
       continue;
     }
-    for (auto& [pages, list] : a.free_lists) {
-      while (!list.empty()) {
-        const FbufId id = list.front();
-        list.erase(list.begin());
-        Fbuf* fb = fbufs_[id].get();
-        if (fb->dead || !fb->free_listed) {
-          continue;
+    for (auto* lists : AllFreeListMaps(a)) {
+      for (auto& [pages, list] : *lists) {
+        while (!list.empty()) {
+          const FbufId id = list.front();
+          list.erase(list.begin());
+          Fbuf* fb = fbufs_[id].get();
+          if (fb->dead || !fb->free_listed) {
+            continue;
+          }
+          fb->free_listed = false;
+          released += fb->pages;
+          DestroyFbuf(fb);
         }
-        fb->free_listed = false;
-        released += fb->pages;
-        DestroyFbuf(fb);
       }
     }
     // Fully drained: give the chunks back to the region. The allocator stays
@@ -561,7 +607,12 @@ void FbufSystem::ReturnToOwner(Fbuf* fb) {
   const bool path_alive = fb->path == kNoPath || (path != nullptr && path->alive);
   if (fb->cached && !a.defunct && path_alive) {
     fb->free_listed = true;
-    a.free_lists[fb->pages].push_back(fb->id);
+    if (machine_->num_cpus() > 1) {
+      // The freeing lane keeps the fbuf in its own cache (it is warm there).
+      CpuFreeLists(a)[fb->pages].push_back(fb->id);
+    } else {
+      a.free_lists[fb->pages].push_back(fb->id);
+    }
     return;
   }
   DestroyFbuf(fb);
@@ -614,9 +665,11 @@ std::uint64_t FbufSystem::ReclaimFreeMemory(std::uint64_t max_pages) {
   // list is the least recently freed fbuf.
   std::vector<Fbuf*> victims;
   for (auto& [key, a] : allocators_) {
-    for (auto& [pages, list] : a.free_lists) {
-      for (FbufId id : list) {
-        victims.push_back(fbufs_[id].get());
+    for (auto* lists : AllFreeListMaps(a)) {
+      for (auto& [pages, list] : *lists) {
+        for (FbufId id : list) {
+          victims.push_back(fbufs_[id].get());
+        }
       }
     }
   }
@@ -686,6 +739,7 @@ void FbufSystem::DestroyPath(PathId path) {
   for (auto& [key, a] : allocators_) {
     if (a.path == path) {
       a.free_lists.clear();
+      a.cpu_free_lists.clear();
       a.defunct = true;
       ReleaseAllocatorIfDrained(a);
     }
@@ -706,16 +760,19 @@ void FbufSystem::OnDomainTerminated(Domain& d) {
     if (a.domain == d.id()) {
       a.defunct = true;
       // Free-listed fbufs of defunct allocators are destroyed now.
-      for (auto& [pages, list] : a.free_lists) {
-        for (FbufId id : list) {
-          Fbuf* fb = fbufs_[id].get();
-          if (!fb->dead && fb->free_listed) {
-            fb->free_listed = false;
-            DestroyFbuf(fb);
+      for (auto* lists : AllFreeListMaps(a)) {
+        for (auto& [pages, list] : *lists) {
+          for (FbufId id : list) {
+            Fbuf* fb = fbufs_[id].get();
+            if (!fb->dead && fb->free_listed) {
+              fb->free_listed = false;
+              DestroyFbuf(fb);
+            }
           }
         }
       }
       a.free_lists.clear();
+      a.cpu_free_lists.clear();
       ReleaseAllocatorIfDrained(a);
     }
   }
@@ -1015,12 +1072,14 @@ FbufSystem::AuditCounts FbufSystem::Audit() const {
     }
   }
   for (const auto& [key, a] : allocators_) {
-    for (const auto& [pages, list] : a.free_lists) {
-      for (FbufId id : list) {
-        c.free_list_entries++;
-        const Fbuf* fb = fbufs_[id].get();
-        if (fb->dead || !fb->free_listed || fb->pages != pages || a.defunct) {
-          c.free_list_errors++;
+    for (const auto* lists : AllFreeListMaps(a)) {
+      for (const auto& [pages, list] : *lists) {
+        for (FbufId id : list) {
+          c.free_list_entries++;
+          const Fbuf* fb = fbufs_[id].get();
+          if (fb->dead || !fb->free_listed || fb->pages != pages || a.defunct) {
+            c.free_list_errors++;
+          }
         }
       }
     }
@@ -1080,8 +1139,10 @@ std::size_t FbufSystem::FreeListSize(DomainId domain, PathId path) const {
     return 0;
   }
   std::size_t n = 0;
-  for (const auto& [pages, list] : it->second.free_lists) {
-    n += list.size();
+  for (const auto* lists : AllFreeListMaps(it->second)) {
+    for (const auto& [pages, list] : *lists) {
+      n += list.size();
+    }
   }
   return n;
 }
@@ -1092,8 +1153,10 @@ std::string FbufSystem::DebugDump() const {
      << swap_.size() << " pages in swap\n";
   for (const auto& [key, a] : allocators_) {
     std::size_t free_count = 0;
-    for (const auto& [pages, list] : a.free_lists) {
-      free_count += list.size();
+    for (const auto* lists : AllFreeListMaps(a)) {
+      for (const auto& [pages, list] : *lists) {
+        free_count += list.size();
+      }
     }
     os << "  allocator dom=" << a.domain << " path=";
     if (a.path == kNoPath) {

@@ -18,6 +18,8 @@
 
 namespace fbufs {
 
+class Dispatcher;
+
 using ServiceId = std::uint32_t;
 
 // Small by-value argument block carried by a call (fits in registers /
@@ -59,6 +61,24 @@ class Rpc {
   using PiggybackHook = std::function<void(Domain& from, Domain& to)>;
   void AddPiggybackHook(PiggybackHook hook) { hooks_.push_back(std::move(hook)); }
 
+  // --- Evented path (multicore) ----------------------------------------------
+  // With a dispatcher attached and num_cpus > 1, the *Async entry points stop
+  // charging on the caller: the crossing plus handler run as a work item on
+  // the callee domain's dispatch queue (on its bound CPU lane), and the
+  // completion callback fires with the finish time on that lane. Without a
+  // dispatcher — or on a single-CPU machine — they degenerate to the exact
+  // synchronous path, so every pre-multicore schedule is preserved.
+  void AttachDispatcher(Dispatcher* d) { dispatcher_ = d; }
+  Dispatcher* dispatcher() { return dispatcher_; }
+
+  // |args| travel by value into the callee; the completion sees the handler's
+  // mutations (the reply message).
+  using AsyncDone = std::function<void(Status, const RpcArgs&, SimTime)>;
+  void CallAsync(Domain& caller, ServiceId svc, RpcArgs args, AsyncDone done);
+
+  using CrossingDone = std::function<void(SimTime)>;
+  void ChargeCrossingAsync(Domain& a, Domain& b, CrossingDone done = {});
+
   Machine& machine() { return *machine_; }
 
  private:
@@ -67,7 +87,10 @@ class Rpc {
     Handler handler;
   };
 
+  bool UseSyncPath() const;
+
   Machine* machine_;
+  Dispatcher* dispatcher_ = nullptr;
   std::map<ServiceId, Service> services_;
   std::vector<PiggybackHook> hooks_;
 };

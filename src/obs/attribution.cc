@@ -24,6 +24,8 @@ const char* CostDomainName(CostDomain d) {
       return "msg";
     case CostDomain::kApp:
       return "app";
+    case CostDomain::kDispatch:
+      return "dispatch";
     case CostDomain::kWait:
       return "wait";
     case CostDomain::kOther:
@@ -58,6 +60,16 @@ SimTime Attribution::ByPath(AttrPathId p) const {
   SimTime sum = 0;
   for (const auto& [key, ns] : cells_) {
     if (key.path == p) {
+      sum += ns;
+    }
+  }
+  return sum;
+}
+
+SimTime Attribution::ByCpu(std::uint32_t c) const {
+  SimTime sum = 0;
+  for (const auto& [key, ns] : cells_) {
+    if (key.cpu == c) {
       sum += ns;
     }
   }

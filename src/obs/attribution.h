@@ -53,6 +53,7 @@ enum class CostDomain : std::uint8_t {
   kCache,     // file cache disk access
   kMsg,       // message-layer data touching (checksums, HBIO copies, fills)
   kApp,       // application data touching (TouchRange word reads/writes)
+  kDispatch,  // evented dispatch overhead (enqueue/run scheduling cost)
   kWait,      // clock moved to an event delivery time (host was idle)
   kOther,     // charge with no enclosing scope
   kCount,
@@ -62,12 +63,14 @@ const char* CostDomainName(CostDomain d);
 
 class Attribution {
  public:
-  // One accumulation cell: (layer, acting domain, path). Ordered so
-  // serialization is deterministic.
+  // One accumulation cell: (layer, acting domain, path, cpu). Ordered so
+  // serialization is deterministic. The cpu dimension is 0 for the whole
+  // life of a single-CPU machine, so single-CPU cell sets are unchanged.
   struct Key {
     CostDomain layer = CostDomain::kOther;
     DomainId domain = kInvalidDomainId;
     AttrPathId path = kAttrNoPath;
+    std::uint32_t cpu = 0;
 
     bool operator<(const Key& o) const {
       if (layer != o.layer) {
@@ -76,10 +79,13 @@ class Attribution {
       if (domain != o.domain) {
         return domain < o.domain;
       }
-      return path < o.path;
+      if (path != o.path) {
+        return path < o.path;
+      }
+      return cpu < o.cpu;
     }
     bool operator==(const Key& o) const {
-      return layer == o.layer && domain == o.domain && path == o.path;
+      return layer == o.layer && domain == o.domain && path == o.path && cpu == o.cpu;
     }
   };
 
@@ -138,6 +144,13 @@ class Attribution {
     path_ = p;
     Revalidate();
   }
+  std::uint32_t cpu() const { return cpu_; }
+  // The CPU lane charges land on. Maintained by Machine::SetActiveCpu, not
+  // by a scope here: the active lane is machine state, not call-site state.
+  void SetCpu(std::uint32_t c) {
+    cpu_ = c;
+    Revalidate();
+  }
 
   // --- Inspection -------------------------------------------------------------
   // Total attributed time. The conservation invariant: equals the host
@@ -147,6 +160,9 @@ class Attribution {
   SimTime ByLayer(CostDomain d) const;
   SimTime ByDomain(DomainId d) const;
   SimTime ByPath(AttrPathId p) const;
+  // Per-lane total: on a multicore machine this equals that lane's clock
+  // (per-lane conservation); summed over lanes it equals total().
+  SimTime ByCpu(std::uint32_t c) const;
   const std::map<Key, SimTime>& cells() const { return cells_; }
 
   // A value-semantics copy for windowed measurement (bench warmup).
@@ -170,8 +186,8 @@ class Attribution {
   // Re-resolves the cached cell pointers after any context change; Record
   // and RecordWait stay two additions each.
   void Revalidate() {
-    work_cell_ = &cells_[Key{CurrentLayer(), actor_, path_}];
-    wait_cell_ = &cells_[Key{CostDomain::kWait, actor_, path_}];
+    work_cell_ = &cells_[Key{CurrentLayer(), actor_, path_, cpu_}];
+    wait_cell_ = &cells_[Key{CostDomain::kWait, actor_, path_, cpu_}];
   }
 
   std::map<Key, SimTime> cells_;
@@ -182,6 +198,7 @@ class Attribution {
   std::size_t depth_ = 0;
   DomainId actor_ = kInvalidDomainId;
   AttrPathId path_ = kAttrNoPath;
+  std::uint32_t cpu_ = 0;
 };
 
 // --- Tagging scopes (RAII; nestable; innermost wins) ---------------------------

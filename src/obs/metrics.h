@@ -13,6 +13,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/clock.h"
 
 namespace fbufs {
 
@@ -107,6 +111,31 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name) { return &gauges_[name]; }
   Histogram* GetHistogram(const std::string& name) { return &histograms_[name]; }
 
+  // --- Timestamped sampling (trace counter tracks) ---------------------------
+  // Off by default: Sample() is then just Gauge::Set. When enabled, every
+  // Sample() also appends a (time, value) point to the gauge's series so the
+  // trace exporter can render it as a Chrome counter track. Bounded per
+  // series; once full, further points update the gauge but are not logged.
+  void EnableTraceSampling(std::size_t max_points_per_series = 65536) {
+    sampling_ = true;
+    max_points_ = max_points_per_series;
+  }
+  bool trace_sampling() const { return sampling_; }
+
+  using Series = std::vector<std::pair<SimTime, std::int64_t>>;
+
+  void Sample(const std::string& name, SimTime when, std::int64_t value) {
+    GetGauge(name)->Set(value);
+    if (sampling_) {
+      Series& s = series_[name];
+      if (s.size() < max_points_) {
+        s.emplace_back(when, value);
+      }
+    }
+  }
+
+  const std::map<std::string, Series>& series() const { return series_; }
+
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
   const std::map<std::string, Histogram>& histograms() const { return histograms_; }
@@ -120,6 +149,9 @@ class MetricsRegistry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Series> series_;
+  bool sampling_ = false;
+  std::size_t max_points_ = 0;
 };
 
 }  // namespace fbufs

@@ -110,6 +110,61 @@ void TraceExporter::AddResource(const Resource& resource) {
   }
 }
 
+void TraceExporter::AddCounterTracks(const std::string& name, std::uint32_t pid,
+                                     const MetricsRegistry& metrics,
+                                     SimTime final_ts) {
+  AppendMeta(pid, 0, "process_name", name);
+  auto counter = [&](const std::string& track, SimTime ts, std::string args) {
+    ExportEvent e;
+    e.pid = pid;
+    e.tid = 0;
+    e.ts = ts;
+    e.ph = 'C';
+    e.name = track;
+    e.cat = "metric";
+    e.args = std::move(args);
+    events_.push_back(std::move(e));
+  };
+  for (const auto& [track, series] : metrics.series()) {
+    for (const auto& [when, value] : series) {
+      counter(track, when, "\"value\":" + std::to_string(value));
+    }
+  }
+  for (const auto& [track, gauge] : metrics.gauges()) {
+    if (metrics.series().count(track) != 0) {
+      continue;  // already a full track above
+    }
+    counter(track, final_ts, "\"value\":" + std::to_string(gauge.value()));
+  }
+  for (const auto& [track, hist] : metrics.histograms()) {
+    counter(track, final_ts,
+            "\"count\":" + std::to_string(hist.count()) +
+                ",\"p50\":" + std::to_string(hist.ApproxQuantile(0.5)) +
+                ",\"p99\":" + std::to_string(hist.ApproxQuantile(0.99)));
+  }
+}
+
+void TraceExporter::AddLaneConservation(const std::string& lane_name,
+                                        SimTime busy, SimTime elapsed) {
+  const std::uint32_t tid = next_lane_tid_++;
+  if (tid == 0) {
+    AppendMeta(kConservationPid, 0, "process_name", "conservation");
+  }
+  AppendMeta(kConservationPid, tid, "thread_name", lane_name);
+  ExportEvent e;
+  e.pid = kConservationPid;
+  e.tid = tid;
+  e.ts = elapsed;
+  e.ph = 'i';
+  e.name = "lane_conservation";
+  e.cat = "conservation";
+  const SimTime idle = elapsed >= busy ? elapsed - busy : 0;
+  e.args = "\"busy\":" + std::to_string(busy) +
+           ",\"idle\":" + std::to_string(idle) +
+           ",\"elapsed\":" + std::to_string(elapsed);
+  events_.push_back(std::move(e));
+}
+
 std::string TraceExporter::ToJson() const {
   std::string out;
   out.reserve(events_.size() * 96 + 64);

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/trace.h"
 
@@ -34,6 +35,20 @@ class TraceExporter {
   // Resource::set_record_intervals(true) before the run) as a lane of "X"
   // events under the shared resources process.
   void AddResource(const Resource& resource);
+
+  // Renders a MetricsRegistry as Chrome counter tracks ("C" events) under
+  // process |pid| named |name|. Timestamped series (EnableTraceSampling +
+  // Sample) become full tracks; gauges without a series get a single final
+  // point at |final_ts|; histograms get a summary point (count, p50, p99).
+  // Iteration is in name order, so export stays deterministic.
+  void AddCounterTracks(const std::string& name, std::uint32_t pid,
+                        const MetricsRegistry& metrics, SimTime final_ts);
+
+  // One "lane_conservation" instant at |elapsed| for CPU lane |lane_name|:
+  // args carry busy/idle/elapsed so tools/validate_traces.py can re-check
+  // busy + idle == elapsed per lane. Lanes share a "conservation" process.
+  void AddLaneConservation(const std::string& lane_name, SimTime busy,
+                           SimTime elapsed);
 
   // The complete trace document: {"traceEvents":[...],"displayTimeUnit":"ns"}.
   std::string ToJson() const;
@@ -63,7 +78,9 @@ class TraceExporter {
 
   std::vector<ExportEvent> events_;
   std::uint32_t next_resource_tid_ = 0;
+  std::uint32_t next_lane_tid_ = 0;
   static constexpr std::uint32_t kResourcePid = 9999;
+  static constexpr std::uint32_t kConservationPid = 9998;
 };
 
 }  // namespace fbufs

@@ -34,6 +34,7 @@ CostParams CostParams::Zero() {
   p.ipc_kernel_user_ns = 0;
   p.ipc_user_user_ns = 0;
   p.cache_pressure_ns = 0;
+  p.dispatch_ns = 0;
   p.proto_pdu_ns = 0;
   p.driver_pdu_ns = 0;
   p.driver_byte_ns = 0;

@@ -78,6 +78,13 @@ struct CostParams {
   // third domain (no shared libraries) joins the path.
   SimTime cache_pressure_ns = 30000;
 
+  // --- Dispatch ---------------------------------------------------------------
+  // Per-item cost of running work through an evented dispatch queue (run
+  // queue manipulation + context switch to the servicing thread). Charged
+  // only on the multicore path (num_cpus > 1); the synchronous single-CPU
+  // model folds this into its IPC crossing constants.
+  SimTime dispatch_ns = 4000;
+
   // --- Protocol processing ---------------------------------------------------
   // Per-PDU control-path cost of one protocol layer (header build/parse,
   // demux, session lookup). Fitted so the receiving host's CPU load matches

@@ -30,6 +30,11 @@ class PhysMem {
   PhysMem(const PhysMem&) = delete;
   PhysMem& operator=(const PhysMem&) = delete;
 
+  // Re-points the clock charges land on. A multicore Machine switches this
+  // to the active CPU lane's clock (frame clearing runs on the lane that
+  // asked for the frame).
+  void set_clock(SimClock* clock) { clock_ = clock; }
+
   // Allocates one frame with reference count 1. If |clear| is true the frame
   // is filled with zeros and the page-clear cost is charged (security
   // clearing of memory recycled across protection domains).

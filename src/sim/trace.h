@@ -61,6 +61,10 @@ class Trace {
     ring_.reserve(capacity);
   }
 
+  // Re-points the timestamp source. A multicore Machine switches this to the
+  // active CPU lane's clock so events are stamped on the lane that ran them.
+  void set_clock(const SimClock* clock) { clock_ = clock; }
+
   // --- Control -----------------------------------------------------------------
   void Enable(TraceCategory c) { mask_ |= Bit(c); }
   void Disable(TraceCategory c) { mask_ &= ~Bit(c); }

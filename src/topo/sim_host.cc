@@ -40,7 +40,7 @@ SimHost::SimHost(const SimHostConfig& cfg, HostRole host_role,
       fsys(&machine),
       rpc(&machine),
       adapter(&machine.costs()),
-      cpu("cpu/" + name),
+      cpu(machine.cpu_lane(0)),
       vci(host_vci),
       role(host_role),
       config(cfg) {

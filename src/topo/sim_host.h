@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ipc/dispatch.h"
 #include "src/net/driver.h"
 #include "src/net/osiris.h"
 #include "src/proto/ip.h"
@@ -118,7 +119,12 @@ class SimHost {
   FbufSystem fsys;
   Rpc rpc;
   OsirisAdapter adapter;  // sender TX / receiver + relay RX
-  Resource cpu;
+  // CPU lane 0 of the machine — the host CPU of the single-core model. The
+  // multicore runner addresses lanes through machine.cpu_lane(i) directly.
+  Resource& cpu;
+  // Evented dispatch (multicore runs only): created by the TopologyRunner
+  // when the host has more than one CPU lane.
+  std::unique_ptr<Dispatcher> dispatcher;
   std::unique_ptr<ProtocolStack> stack;
   // Sender side uses source/udp/ip/driver; receiver driver/ip/udp/sink.
   std::unique_ptr<SourceProtocol> source;

@@ -34,7 +34,7 @@ void TopologyRunner::ScheduleSenderStep(std::size_t flow) {
   }
   step_pending_[flow] = true;
   SimHost& tx = TxHost(flow);
-  loop_->Schedule(Key(tx.machine.clock().Now()),
+  loop_->Schedule(Key(tx.machine.cpu_clock(run.tx_cpu).Now()),
                   "send/" + std::to_string(flow) + "/" + std::to_string(run.next),
                   [this, flow] {
                     step_pending_[flow] = false;
@@ -64,7 +64,9 @@ void TopologyRunner::SenderStep(std::size_t flow) {
   }
   const std::uint32_t window = flows_[flow].window;
   SimHost& tx = TxHost(flow);
-  SimClock& tx_clock = tx.machine.clock();
+  // The whole step runs on the flow's send lane (a no-op on 1-CPU hosts).
+  CpuScope cpu_scope(tx.machine, run.tx_cpu);
+  SimClock& tx_clock = tx.machine.cpu_clock(run.tx_cpu);
   const std::uint64_t m = run.next;
 
   // Sliding-window flow control: do not run more than |window| messages
@@ -101,7 +103,7 @@ void TopologyRunner::SenderStep(std::size_t flow) {
     run.tx_backoff.Progress(loop_->Now());
   }
   const SimTime tx_after = tx_clock.Now();
-  tx.cpu.RecordBusy(tx_before, tx_after);
+  tx.machine.cpu_lane(run.tx_cpu).RecordBusy(tx_before, tx_after);
   run.tx_busy += tx_after - tx_before;
   run.tx_end = tx_after;
   run.next++;
@@ -115,7 +117,7 @@ void TopologyRunner::SenderStep(std::size_t flow) {
     // so the window never deadlocks.
     run.completed++;
     if (m + 1 == run.traffic.warmup) {
-      run.t0_rx = RxHost(flow).machine.clock().Now();
+      run.t0_rx = RxHost(flow).machine.cpu_clock(run.rx_cpu).Now();
       run.rx_busy = 0;
     }
     run.ack_time[m] = tx_clock.Now();
@@ -203,6 +205,10 @@ void TopologyRunner::DeliverEvent(std::size_t flow, std::uint64_t msg,
     return;
   }
   SimHost& rx = RxHost(flow);
+  if (rx.machine.num_cpus() > 1) {
+    DeliverMulticore(flow, msg, std::move(payload), rx_dma_done);
+    return;
+  }
   SimClock& rx_clock = rx.machine.clock();
   // The receiving CPU picks the PDU up no earlier than its DMA completion;
   // it may already be past that point serving another delivery.
@@ -239,6 +245,54 @@ void TopologyRunner::DeliverEvent(std::size_t flow, std::uint64_t msg,
   }
 }
 
+void TopologyRunner::DeliverMulticore(std::size_t flow, std::uint64_t msg,
+                                      std::vector<std::uint8_t> payload,
+                                      SimTime rx_dma_done) {
+  FlowRun& run = runs_[flow];
+  SimHost& rx = RxHost(flow);
+  assert(rx.dispatcher != nullptr && "multicore receiver without a dispatcher");
+  // RSS steering: every PDU of this flow is serviced on run.rx_cpu. The
+  // dispatch queue serializes it behind other flows hashed to the same lane;
+  // the lane's RecordBusy is performed by the queue itself.
+  rx.dispatcher->RunOnCpu(
+      run.rx_cpu, rx_dma_done,
+      "deliver/" + std::to_string(flow) + "/" + std::to_string(msg),
+      [this, flow, msg, payload = std::move(payload), rx_dma_done]() mutable {
+        FlowRun& r = runs_[flow];
+        if (r.failed) {
+          return;
+        }
+        SimHost& rxh = RxHost(flow);
+        SimClock& lane_clock = rxh.machine.clock();  // active lane = rx_cpu
+        const SimTime rx_before = lane_clock.Now();
+        const Status st = rxh.driver->DeliverPdu(
+            payload, flows_[flow].legs.back().vci, rxh.config.volatile_fbufs);
+        if (!Ok(st)) {
+          if (backpressure_on_ && IsBackpressure(st)) {
+            ParkFlow(flow, r.rx_backoff,
+                     "rxpark/" + std::to_string(flow) + "/" + std::to_string(msg),
+                     [this, flow, msg, payload = std::move(payload),
+                      rx_dma_done]() mutable {
+                       DeliverEvent(flow, msg, std::move(payload), rx_dma_done);
+                     });
+            return;
+          }
+          r.failed = true;
+          return;
+        }
+        if (backpressure_on_) {
+          r.rx_backoff.Progress(loop_->Now());
+        }
+        const SimTime rx_after = lane_clock.Now();
+        r.rx_busy += rx_after - rx_before;
+        r.rx_end = rx_after;
+        assert(r.pdus_left[msg] > 0);
+        if (--r.pdus_left[msg] == 0) {
+          CompleteMessage(flow, msg);
+        }
+      });
+}
+
 void TopologyRunner::RelayEvent(std::size_t flow, std::size_t leg_i,
                                 std::uint64_t msg,
                                 std::vector<std::uint8_t> payload,
@@ -249,7 +303,10 @@ void TopologyRunner::RelayEvent(std::size_t flow, std::size_t leg_i,
   }
   const Leg& leg = flows_[flow].legs[leg_i];
   SimHost& relay = *topo_->host(leg.rx);
-  SimClock& clock = relay.machine.clock();
+  // RSS: a multicore relay services this leg's VCI on a fixed lane.
+  const std::uint32_t relay_cpu = RssSteer(leg.vci, relay.machine.num_cpus());
+  CpuScope cpu_scope(relay.machine, relay_cpu);
+  SimClock& clock = relay.machine.cpu_clock(relay_cpu);
   clock.AdvanceToAtLeast(rx_dma_done);
 
   const SimTime before = clock.Now();
@@ -262,7 +319,7 @@ void TopologyRunner::RelayEvent(std::size_t flow, std::size_t leg_i,
     return;
   }
   const SimTime after = clock.Now();
-  relay.cpu.RecordBusy(before, after);
+  relay.machine.cpu_lane(relay_cpu).RecordBusy(before, after);
 
   // This leg's PDU is consumed; whatever the out-driver staged continues on
   // the next leg under the same message. The consumed PDU is decremented
@@ -298,15 +355,16 @@ void TopologyRunner::PduDropped(std::size_t flow, std::uint64_t msg) {
 void TopologyRunner::CompleteMessage(std::size_t flow, std::uint64_t msg) {
   FlowRun& run = runs_[flow];
   SimHost& rx = RxHost(flow);
+  SimClock& rx_clock = rx.machine.cpu_clock(run.rx_cpu);
   if (msg + 1 == run.traffic.warmup) {
     // The last warmup message is fully delivered: the receiver's
     // measurement window starts now.
-    run.t0_rx = rx.machine.clock().Now();
+    run.t0_rx = rx_clock.Now();
     run.rx_busy = 0;
   }
   // The acknowledgement rides back over the (otherwise idle) reverse
   // channel: one cell's worth of latency.
-  const SimTime ack_t = rx.machine.clock().Now() + rx.machine.costs().WireTime(48);
+  const SimTime ack_t = rx_clock.Now() + rx.machine.costs().WireTime(48);
   run.completed++;
   loop_->Schedule(Key(ack_t),
                   "ack/" + std::to_string(flow) + "/" + std::to_string(msg),
@@ -324,6 +382,25 @@ MultiResult TopologyRunner::RunFlows(const std::vector<FlowTraffic>& traffic) {
 
   runs_.assign(flows_.size(), FlowRun{});
   step_pending_.assign(flows_.size(), false);
+
+  // Multicore hosts get an evented dispatcher (receive processing and RPCs
+  // queue on their RSS lane). Single-CPU hosts keep the synchronous path —
+  // no dispatcher, no extra events, byte-identical schedules.
+  for (NodeId n = 0; n < topo_->node_count(); ++n) {
+    SimHost* h = topo_->is_switch(n) ? nullptr : topo_->host(n);
+    if (h != nullptr && h->machine.num_cpus() > 1 && h->dispatcher == nullptr) {
+      h->dispatcher = std::make_unique<Dispatcher>(&h->machine, loop_);
+      h->rpc.AttachDispatcher(h->dispatcher.get());
+    }
+  }
+  // Resets every CPU lane of |h| at its own clock (multicore lanes run on
+  // independent timelines; with one lane this is the historical reset).
+  auto reset_cpus = [](SimHost* h) {
+    for (std::uint32_t c = 0; c < h->machine.num_cpus(); ++c) {
+      CpuLane& lane = h->machine.cpu_lane(c);
+      lane.ResetAccounting(lane.clock().Now());
+    }
+  };
 
   // Restart resource accounting: utilization is reported over this run
   // (warmup included), not the topology's lifetime.
@@ -349,12 +426,12 @@ MultiResult TopologyRunner::RunFlows(const std::vector<FlowTraffic>& traffic) {
           run_start = now;
           run_start_set = true;
         }
-        h->cpu.ResetAccounting(now);
+        reset_cpus(h);
         h->adapter.rx_dma().ResetAccounting(h->adapter.rx_dma().busy_until());
         break;
       }
       case HostRole::kRelay:
-        h->cpu.ResetAccounting(h->machine.clock().Now());
+        reset_cpus(h);
         h->adapter.rx_dma().ResetAccounting(h->adapter.rx_dma().busy_until());
         h->adapter_out->tx_dma().ResetAccounting(
             h->adapter_out->tx_dma().busy_until());
@@ -382,11 +459,16 @@ MultiResult TopologyRunner::RunFlows(const std::vector<FlowTraffic>& traffic) {
       run.rx_backoff = run.tx_backoff;
     }
     SimHost& tx = TxHost(i);
-    tx.cpu.ResetAccounting(tx.machine.clock().Now());
+    SimHost& rxh = RxHost(i);
+    // RSS steering: the flow's first-leg VCI picks its send lane, the last
+    // leg's VCI its receive lane (always lane 0 on single-CPU machines).
+    run.tx_cpu = RssSteer(flows_[i].legs.front().vci, tx.machine.num_cpus());
+    run.rx_cpu = RssSteer(flows_[i].legs.back().vci, rxh.machine.num_cpus());
+    reset_cpus(&tx);
     tx.out_adapter().tx_dma().ResetAccounting(
         tx.out_adapter().tx_dma().busy_until());
-    run.t0_tx = tx.machine.clock().Now();
-    run.t0_rx = RxHost(i).machine.clock().Now();
+    run.t0_tx = tx.machine.cpu_clock(run.tx_cpu).Now();
+    run.t0_rx = rxh.machine.cpu_clock(run.rx_cpu).Now();
     run.tx_end = run.t0_tx;
     run.rx_end = run.t0_rx;
     run.sink_bytes_start = flows_[i].sink->bytes_received();
@@ -517,6 +599,13 @@ MultiResult TopologyRunner::RunFlows(const std::vector<FlowTraffic>& traffic) {
     }
     mr.resources.push_back(std::move(use));
   };
+  // A multicore host reports every CPU lane (each is its own resource row);
+  // single-CPU hosts report the historical "cpu/<host>" row.
+  auto report_cpus = [&](SimHost* h) {
+    for (std::uint32_t c = 0; c < h->machine.num_cpus(); ++c) {
+      report(h->machine.cpu_lane(c));
+    }
+  };
   // Report order: sender-side resources per flow, then the fabric (switch
   // ports, link wires), then relay and receiver hosts. The one-link testbed
   // reduces to the historical order: sender cpu/tx-dma, wire, rx-dma, cpu.
@@ -528,7 +617,7 @@ MultiResult TopologyRunner::RunFlows(const std::vector<FlowTraffic>& traffic) {
     }
     tx_reported[n] = true;
     SimHost* tx = topo_->host(n);
-    report(tx->cpu);
+    report_cpus(tx);
     report(tx->out_adapter().tx_dma());
   }
   for (NodeId n = 0; n < topo_->node_count(); ++n) {
@@ -545,7 +634,7 @@ MultiResult TopologyRunner::RunFlows(const std::vector<FlowTraffic>& traffic) {
   for (NodeId n = 0; n < topo_->node_count(); ++n) {
     SimHost* h = topo_->is_switch(n) ? nullptr : topo_->host(n);
     if (h != nullptr && h->role == HostRole::kRelay) {
-      report(h->cpu);
+      report_cpus(h);
       report(h->adapter.rx_dma());
       report(h->adapter_out->tx_dma());
     }
@@ -554,7 +643,7 @@ MultiResult TopologyRunner::RunFlows(const std::vector<FlowTraffic>& traffic) {
     SimHost* h = topo_->is_switch(n) ? nullptr : topo_->host(n);
     if (h != nullptr && h->role == HostRole::kReceiver) {
       report(h->adapter.rx_dma());
-      report(h->cpu);
+      report_cpus(h);
     }
   }
   return mr;

@@ -151,6 +151,10 @@ class TopologyRunner {
     SimTime rx_end = 0;
     SimTime tx_busy = 0;
     SimTime rx_busy = 0;
+    // RSS steering (multicore hosts): the lane this flow's send and receive
+    // processing is pinned to. Always 0 on single-CPU machines.
+    std::uint32_t tx_cpu = 0;
+    std::uint32_t rx_cpu = 0;
     bool failed = false;
     // Backpressure: one backoff per end of the flow (the sender parks on
     // allocation failures, the receiver on delivery failures).
@@ -177,6 +181,11 @@ class TopologyRunner {
               SimHost::StagedPdu pdu);
   void DeliverEvent(std::size_t flow, std::uint64_t msg,
                     std::vector<std::uint8_t> payload, SimTime rx_dma_done);
+  // Multicore receive path: enqueues the delivery on the receiver host's
+  // dispatcher, pinned to the flow's RSS lane. Queueing delay behind other
+  // flows sharing the lane is measured by the dispatch queue.
+  void DeliverMulticore(std::size_t flow, std::uint64_t msg,
+                        std::vector<std::uint8_t> payload, SimTime rx_dma_done);
   void RelayEvent(std::size_t flow, std::size_t leg, std::uint64_t msg,
                   std::vector<std::uint8_t> payload, SimTime rx_dma_done);
   void PduDropped(std::size_t flow, std::uint64_t msg);

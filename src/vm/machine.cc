@@ -1,19 +1,73 @@
 #include "src/vm/machine.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace fbufs {
 
+namespace {
+
+std::vector<std::unique_ptr<CpuLane>> MakeLanes(const MachineConfig& config) {
+  const std::uint32_t n = std::max<std::uint32_t>(1, config.num_cpus);
+  std::vector<std::unique_ptr<CpuLane>> lanes;
+  lanes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // A single-CPU machine keeps the historical resource name "cpu/<host>";
+    // multicore lanes are "cpu/<host>/<i>".
+    std::string name = "cpu/" + config.name;
+    if (n > 1) {
+      name += "/" + std::to_string(i);
+    }
+    lanes.push_back(std::make_unique<CpuLane>(std::move(name), i));
+  }
+  return lanes;
+}
+
+}  // namespace
+
 Machine::Machine(const MachineConfig& config)
     : config_(config),
+      cpus_(MakeLanes(config)),
+      active_clock_(&cpus_[0]->clock()),
+      trace_(active_clock_),
       costs_(config.costs),
-      pmem_(config.phys_frames, &clock_, &costs_, &stats_),
+      pmem_(config.phys_frames, active_clock_, &costs_, &stats_),
       vm_(this) {
-  // Attach the time-attribution profiler before any charge can occur, so
-  // attr_.total() == clock_.Now() holds for the Machine's whole life.
-  clock_.SetChargeHook(&Attribution::ClockHook, &attr_);
+  // Attach the time-attribution profiler to every lane clock before any
+  // charge can occur, so attr_.total() == sum of lane clocks holds for the
+  // Machine's whole life (and per-lane conservation holds via the cpu
+  // coordinate SetActiveCpu maintains).
+  for (const auto& lane : cpus_) {
+    lane->clock().SetChargeHook(&Attribution::ClockHook, &attr_);
+  }
   domains_.push_back(std::make_unique<Domain>(this, kKernelDomainId, "kernel",
                                               /*trusted=*/true));
+}
+
+void Machine::SetActiveCpu(std::uint32_t i) {
+  assert(i < cpus_.size() && "SetActiveCpu: no such lane");
+  if (i == active_cpu_) {
+    return;
+  }
+  active_cpu_ = i;
+  active_clock_ = &cpus_[i]->clock();
+  attr_.SetCpu(i);
+  trace_.set_clock(active_clock_);
+  pmem_.set_clock(active_clock_);
+  // Domains cache the clock in their TLBs; keep them on the active lane.
+  for (const auto& d : domains_) {
+    if (d != nullptr) {
+      d->tlb().set_clock(active_clock_);
+    }
+  }
+}
+
+SimTime Machine::ElapsedNs() const {
+  SimTime t = 0;
+  for (const auto& lane : cpus_) {
+    t = std::max(t, lane->clock().Now());
+  }
+  return t;
 }
 
 Domain* Machine::CreateDomain(const std::string& name, bool trusted) {

@@ -1,8 +1,18 @@
 // Machine: one simulated shared-memory host.
 //
-// Owns the clock, cost model, statistics, physical memory, the protection
-// domains and the VM manager. Higher layers (fbuf system, IPC, devices)
-// attach to a Machine.
+// Owns the CPU lanes (each with its own clock), cost model, statistics,
+// physical memory, the protection domains and the VM manager. Higher layers
+// (fbuf system, IPC, devices) attach to a Machine.
+//
+// Multicore model: a Machine has num_cpus CPU lanes. Each lane is a
+// schedulable Resource with its own monotonic SimClock — lanes overlap in
+// simulated time, work on one lane is serial. Exactly one lane is *active*
+// at any moment of simulation (the simulator itself is single-threaded);
+// clock(), trace timestamps and physical-memory charges all route to the
+// active lane. Code that runs work on a specific CPU brackets it with
+// CpuScope (or lets a DispatchQueue's context hooks do it). With the default
+// num_cpus == 1 nothing ever switches, lane 0's clock is the machine clock,
+// and every pre-multicore number is reproduced bit for bit.
 #ifndef SRC_VM_MACHINE_H_
 #define SRC_VM_MACHINE_H_
 
@@ -16,6 +26,7 @@
 #include "src/obs/metrics.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
+#include "src/sim/dispatch.h"
 #include "src/sim/phys_mem.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
@@ -30,6 +41,8 @@ struct MachineConfig {
   std::uint32_t tlb_entries = Tlb::kDefaultEntries;
   CostParams costs = CostParams::DecStation5000();
   std::string name = "host";
+  // Number of CPU lanes. 1 preserves the single-clock model exactly.
+  std::uint32_t num_cpus = 1;
 };
 
 class Machine {
@@ -39,7 +52,26 @@ class Machine {
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
-  SimClock& clock() { return clock_; }
+  // The active CPU lane's clock. With one lane this is *the* machine clock;
+  // with several it is the timeline of whichever lane is currently running.
+  SimClock& clock() { return *active_clock_; }
+  const SimClock& clock() const { return *active_clock_; }
+
+  std::uint32_t num_cpus() const { return static_cast<std::uint32_t>(cpus_.size()); }
+  CpuLane& cpu_lane(std::uint32_t i) { return *cpus_[i]; }
+  const CpuLane& cpu_lane(std::uint32_t i) const { return *cpus_[i]; }
+  SimClock& cpu_clock(std::uint32_t i) { return cpus_[i]->clock(); }
+  const SimClock& cpu_clock(std::uint32_t i) const { return cpus_[i]->clock(); }
+  std::uint32_t active_cpu() const { return active_cpu_; }
+
+  // Switches the active lane: subsequent clock()/trace/pmem charges land on
+  // lane |i| and attribution cells gain its cpu coordinate. Prefer CpuScope.
+  void SetActiveCpu(std::uint32_t i);
+
+  // The machine-wide elapsed time: the furthest lane's clock. Equals
+  // clock().Now() on a single-CPU machine.
+  SimTime ElapsedNs() const;
+
   const CostParams& costs() const { return costs_; }
   CostParams& mutable_costs() { return costs_; }
   SimStats& stats() { return stats_; }
@@ -83,9 +115,12 @@ class Machine {
 
  private:
   MachineConfig config_;
-  SimClock clock_;
   Attribution attr_;
-  Trace trace_{&clock_};
+  // Lanes precede every member that captures a clock pointer (trace_, pmem_).
+  std::vector<std::unique_ptr<CpuLane>> cpus_;
+  std::uint32_t active_cpu_ = 0;
+  SimClock* active_clock_ = nullptr;
+  Trace trace_;
   MetricsRegistry* metrics_ = nullptr;
   CostParams costs_;
   SimStats stats_;
@@ -93,6 +128,28 @@ class Machine {
   VmManager vm_;
   std::vector<std::unique_ptr<Domain>> domains_;
   std::vector<TerminationHook> termination_hooks_;
+};
+
+// RAII active-CPU switch: runs the enclosed work on lane |cpu|, restores the
+// previously active lane on exit. No-cost when the lane is already active.
+class CpuScope {
+ public:
+  CpuScope(Machine& m, std::uint32_t cpu) : m_(&m), prev_(m.active_cpu()) {
+    if (cpu != prev_) {
+      m_->SetActiveCpu(cpu);
+    }
+  }
+  ~CpuScope() {
+    if (m_->active_cpu() != prev_) {
+      m_->SetActiveCpu(prev_);
+    }
+  }
+  CpuScope(const CpuScope&) = delete;
+  CpuScope& operator=(const CpuScope&) = delete;
+
+ private:
+  Machine* m_;
+  std::uint32_t prev_;
 };
 
 }  // namespace fbufs

@@ -29,6 +29,9 @@ class Tlb {
     slots_.resize(capacity_);
   }
 
+  // Multicore lane switch: charges follow the machine's active CPU clock.
+  void set_clock(SimClock* clock) { clock_ = clock; }
+
   // Looks up |vpn|; on miss, charges the refill cost and consults |pmap|.
   // Returns the entry (valid frame) or nullptr if the pmap has no mapping
   // (the caller then takes the full fault path).

@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "src/net/testbed.h"
+#include "src/topo/testbed.h"
 #include "src/sim/event_loop.h"
 #include "tests/test_util.h"
 

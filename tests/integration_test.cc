@@ -7,7 +7,7 @@
 #include "src/fbuf/endpoint.h"
 #include "src/msg/hbio.h"
 #include "src/msg/stored_message.h"
-#include "src/net/testbed.h"
+#include "src/topo/testbed.h"
 #include "src/proto/loopback_stack.h"
 #include "src/proto/swp.h"
 #include "tests/test_util.h"

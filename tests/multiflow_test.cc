@@ -5,7 +5,7 @@
 
 #include <cstring>
 
-#include "src/net/testbed.h"
+#include "src/topo/testbed.h"
 
 namespace fbufs {
 namespace {

@@ -2,7 +2,7 @@
 // two-host end-to-end testbed (correctness and paper-shape properties).
 #include <gtest/gtest.h>
 
-#include "src/net/testbed.h"
+#include "src/topo/testbed.h"
 #include "tests/test_util.h"
 
 namespace fbufs {

@@ -5,7 +5,7 @@
 
 #include <tuple>
 
-#include "src/net/testbed.h"
+#include "src/topo/testbed.h"
 
 namespace fbufs {
 namespace {

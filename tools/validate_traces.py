@@ -3,11 +3,28 @@
 
 Checks, per file: the document parses, traceEvents is non-empty, every
 begin span has a matching end (per pid/tid the B/E stream must be properly
-bracketed), and at least one instant (phase marker) is present. Exits
-non-zero on the first violation. Used by CI after bench/campaigns runs.
+bracketed), at least one instant (phase marker) is present, counter ('C')
+events carry numeric args with non-decreasing timestamps per track, and
+every lane_conservation instant balances to the nanosecond
+(busy + idle == elapsed). Exits non-zero on the first violation. Used by
+CI after bench/campaigns and bench/multicore run.
 """
 import json
 import sys
+
+
+def check_conservation(path, e):
+    args = e.get("args", {})
+    for k in ("busy", "idle", "elapsed"):
+        if not isinstance(args.get(k), int):
+            raise SystemExit(f"{path}: lane_conservation missing int arg '{k}': {e}")
+    if args["busy"] + args["idle"] != args["elapsed"]:
+        raise SystemExit(
+            f"{path}: lane conservation violated on pid={e.get('pid')} "
+            f"tid={e.get('tid')}: busy {args['busy']} + idle {args['idle']} "
+            f"!= elapsed {args['elapsed']}")
+    if args["busy"] < 0 or args["idle"] < 0:
+        raise SystemExit(f"{path}: negative lane time: {args}")
 
 
 def validate(path):
@@ -17,7 +34,8 @@ def validate(path):
     if not events:
         raise SystemExit(f"{path}: empty traceEvents")
     stacks = {}
-    begins = ends = instants = 0
+    counter_ts = {}
+    begins = ends = instants = counters = lanes_checked = 0
     for e in events:
         ph = e["ph"]
         lane = (e.get("pid"), e.get("tid"))
@@ -32,6 +50,25 @@ def validate(path):
             stack.pop()
         elif ph == "i":
             instants += 1
+            if e["name"] == "lane_conservation":
+                check_conservation(path, e)
+                lanes_checked += 1
+        elif ph == "C":
+            counters += 1
+            args = e.get("args", {})
+            if not args:
+                raise SystemExit(f"{path}: counter '{e['name']}' with no args")
+            for k, v in args.items():
+                if not isinstance(v, (int, float)):
+                    raise SystemExit(
+                        f"{path}: counter '{e['name']}' arg '{k}' not numeric: {v!r}")
+            track = (lane, e["name"])
+            ts = e.get("ts", 0)
+            if track in counter_ts and ts < counter_ts[track]:
+                raise SystemExit(
+                    f"{path}: counter '{e['name']}' timestamps go backwards "
+                    f"({counter_ts[track]} -> {ts})")
+            counter_ts[track] = ts
     if begins != ends:
         raise SystemExit(f"{path}: unbalanced spans ({begins} B vs {ends} E)")
     for lane, stack in stacks.items():
@@ -39,7 +76,9 @@ def validate(path):
             raise SystemExit(f"{path}: {len(stack)} unclosed span(s) on lane {lane}")
     if instants == 0:
         raise SystemExit(f"{path}: no instants (phase markers missing)")
-    print(f"{path}: {len(events)} events, {begins} spans, {instants} instants")
+    extra = f", {lanes_checked} lane(s) conserved" if lanes_checked else ""
+    print(f"{path}: {len(events)} events, {begins} spans, {instants} instants, "
+          f"{counters} counter points{extra}")
 
 
 def main(argv):
