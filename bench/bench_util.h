@@ -14,6 +14,7 @@
 #include "src/baseline/transfer_facility.h"
 #include "src/fbuf/fbuf_system.h"
 #include "src/ipc/rpc.h"
+#include "src/obs/metrics.h"
 #include "src/vm/machine.h"
 
 namespace fbufs {
@@ -225,6 +226,15 @@ struct AttributionJsonOptions {
   // is queueing latency (work parked while its lane served someone else),
   // not CPU time, so it is reported beside the by_layer split, not in it.
   long long dispatch_wait_ns = -1;
+  // When non-null, "by_path" entries become objects carrying latency slices
+  // next to the attributed CPU time: per-path dispatch-queue wait
+  // (Dispatcher::PathWaitNs) and per-path ring occupancy (time descriptors
+  // sat in a transfer-ring SQ, RingHub::PathOccupancyNs). Both are latency,
+  // not CPU time, so they sit beside "ns", never inside it. With both null
+  // the historical flat {"path": ns} format is emitted, so frozen
+  // BENCH_*.json files never move.
+  const std::map<AttrPathId, SimTime>* per_path_dispatch_wait = nullptr;
+  const std::map<AttrPathId, SimTime>* per_path_ring_occupancy = nullptr;
 };
 
 // Renders a machine's time-attribution state as a JSON object for a
@@ -271,16 +281,54 @@ inline std::string TimeAttributionJson(Machine& m,
     for (const auto& [key, ns] : attr.cells()) {
       by_path[key.path] += ns;
     }
+    const bool sliced = opts.per_path_dispatch_wait != nullptr ||
+                        opts.per_path_ring_occupancy != nullptr;
+    if (sliced) {
+      // A path may have queueing latency without attributed CPU time (all
+      // its work parked); make sure such paths still get an entry.
+      if (opts.per_path_dispatch_wait != nullptr) {
+        for (const auto& [p, ns] : *opts.per_path_dispatch_wait) {
+          by_path[p] += 0;
+        }
+      }
+      if (opts.per_path_ring_occupancy != nullptr) {
+        for (const auto& [p, ns] : *opts.per_path_ring_occupancy) {
+          by_path[p] += 0;
+        }
+      }
+    }
+    auto slice_of = [](const std::map<AttrPathId, SimTime>* m,
+                       AttrPathId p) -> SimTime {
+      if (m == nullptr) {
+        return 0;
+      }
+      auto it = m->find(p);
+      return it == m->end() ? 0 : it->second;
+    };
     out += ",\n    \"by_path\": {";
     first = true;
     for (const auto& [p, ns] : by_path) {
-      if (ns == 0) {
+      const SimTime wait = slice_of(opts.per_path_dispatch_wait, p);
+      const SimTime occ = slice_of(opts.per_path_ring_occupancy, p);
+      if (ns == 0 && wait == 0 && occ == 0) {
         continue;
       }
       out += first ? "" : ", ";
       out += "\"" +
              (p == kAttrNoPath ? std::string("none") : std::to_string(p)) +
-             "\": " + std::to_string(ns);
+             "\": ";
+      if (sliced) {
+        out += "{\"ns\": " + std::to_string(ns);
+        if (opts.per_path_dispatch_wait != nullptr) {
+          out += ", \"dispatch_wait_ns\": " + std::to_string(wait);
+        }
+        if (opts.per_path_ring_occupancy != nullptr) {
+          out += ", \"ring_occupancy_ns\": " + std::to_string(occ);
+        }
+        out += "}";
+      } else {
+        out += std::to_string(ns);
+      }
       first = false;
     }
     out += "}";
@@ -314,6 +362,14 @@ inline std::string TimeAttributionJson(Machine& m,
 inline void AddTimeAttribution(JsonReport& report, Machine& m,
                                const AttributionJsonOptions& opts = {}) {
   report.RawSection("time_attribution", TimeAttributionJson(m, opts));
+}
+
+// Attaches the full metrics registry — counters, gauges, and every log2
+// histogram with its count/p50/p99 summary — as a "metrics" section.
+// MetricsRegistry::ToJson is deterministic (name-ordered, integers only), so
+// double runs of a deterministic bench still cmp byte-identical.
+inline void AddMetricsSummary(JsonReport& report, const MetricsRegistry& m) {
+  report.RawSection("metrics", m.ToJson());
 }
 
 inline void PrintHeader(const std::string& title) {

@@ -40,7 +40,8 @@ struct SweepPoint {
 };
 
 SweepPoint RunPoint(std::size_t senders, std::uint64_t pdu,
-                    std::string* attr_json = nullptr) {
+                    std::string* attr_json = nullptr,
+                    std::string* metrics_json = nullptr) {
   TopologyConfig cfg;
   cfg.shape = TopologyShape::kFanInSwitch;
   cfg.senders = senders;
@@ -58,12 +59,18 @@ SweepPoint RunPoint(std::size_t senders, std::uint64_t pdu,
     t.bytes = pdu;
     t.warmup = 4;
   }
+  MetricsRegistry metrics;
+  b.topo->host(b.receiver_node)->machine.AttachMetrics(&metrics);
   const MultiResult mr = b.runner->RunFlows(traffic);
   if (attr_json != nullptr) {
     *attr_json = "{\n    \"receiver\": " +
                  TimeAttributionJson(b.topo->host(b.receiver_node)->machine) +
                  "\n  }";
   }
+  if (metrics_json != nullptr) {
+    *metrics_json = metrics.ToJson();
+  }
+  b.topo->host(b.receiver_node)->machine.AttachMetrics(nullptr);
 
   SweepPoint p;
   p.senders = senders;
@@ -101,11 +108,12 @@ int Main() {
               "rx-dma", "rx-cpu", "bottleneck");
   JsonReport report("fanin_contention");
   std::string attr_json;
+  std::string metrics_json;
   for (std::uint64_t pdu : {2 * 1024, 16 * 1024}) {
     for (std::size_t senders : {1, 2, 4, 8}) {
       // The last point (8 senders, 16 KB PDUs) supplies the receiver's
       // per-layer breakdown; each point is conservation-checked.
-      const SweepPoint p = RunPoint(senders, pdu, &attr_json);
+      const SweepPoint p = RunPoint(senders, pdu, &attr_json, &metrics_json);
       std::printf("%8zu %6lluKB %9.1f %9.1f %7llu %7.0f%% %7.0f%% %7.0f%% "
                   "%7.0f%% %7.0f%%  %s (%.0f%%)\n",
                   p.senders, static_cast<unsigned long long>(p.pdu / 1024),
@@ -131,6 +139,7 @@ int Main() {
     }
   }
   report.RawSection("time_attribution", attr_json);
+  report.RawSection("metrics", metrics_json);
   report.Write();
   return 0;
 }

@@ -47,6 +47,7 @@ struct SweepPoint {
 
 struct PointArtifacts {
   std::string attribution_json;  // receiver, per-path + per-lane breakdown
+  std::string metrics_json;      // receiver metrics (histograms with p50/p99)
   bool export_trace = false;
 };
 
@@ -130,9 +131,15 @@ SweepPoint RunPoint(std::size_t flows, std::uint32_t cpus,
       rx->dispatcher != nullptr
           ? static_cast<long long>(rx->dispatcher->TotalWaitNs())
           : 0;
+  if (rx->dispatcher != nullptr) {
+    // Slice the queueing delay by submitting path: "by_path" entries become
+    // {"ns", "dispatch_wait_ns"} objects, CPU time beside parked latency.
+    opts.per_path_dispatch_wait = &rx->dispatcher->PathWaitNs();
+  }
   const std::string attr = TimeAttributionJson(rx->machine, opts);
   if (artifacts != nullptr) {
     artifacts->attribution_json = "{\n    \"receiver\": " + attr + "\n  }";
+    artifacts->metrics_json = metrics.ToJson();
     if (artifacts->export_trace) {
       TraceExporter ex;
       std::uint32_t pid = 1;
@@ -185,6 +192,7 @@ int Main(int argc, char** argv) {
 
   JsonReport report("multicore");
   std::string attr_json;
+  std::string metrics_json;
   for (std::size_t flows : flow_counts) {
     for (std::uint32_t cpus : cpu_counts) {
       const bool last = flows == flow_counts.back() && cpus == cpu_counts.back();
@@ -193,6 +201,7 @@ int Main(int argc, char** argv) {
       const SweepPoint p = RunPoint(flows, cpus, messages, &artifacts);
       if (last) {
         attr_json = artifacts.attribution_json;
+        metrics_json = artifacts.metrics_json;
       }
       std::printf("%6zu %5u %7.1fMb %7.0f%% %7.0f%% %7.0f%% %7llu %8.1fus "
                   "%7.1fus  %s (%.0f%%)\n",
@@ -216,6 +225,7 @@ int Main(int argc, char** argv) {
     }
   }
   report.RawSection("time_attribution", attr_json);
+  report.RawSection("metrics", metrics_json);
   report.Write();
   return 0;
 }

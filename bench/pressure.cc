@@ -61,7 +61,8 @@ struct PointResult {
 // One sweep point: |n| PDUs through a pool of |pool_frames| with the hoarder
 // holding everything above |headroom| free frames (0 disables the hoarder).
 PointResult RunPoint(std::uint64_t pool_frames, std::uint64_t headroom, std::uint64_t n,
-                     std::string* attr_json = nullptr) {
+                     std::string* attr_json = nullptr,
+                     std::string* metrics_json = nullptr) {
   PointResult r;
   r.pool_frames = pool_frames;
   r.headroom = headroom;
@@ -76,6 +77,8 @@ PointResult RunPoint(std::uint64_t pool_frames, std::uint64_t headroom, std::uin
   fsys.AttachRpc(&rpc);
   EventLoop loop;
   fsys.AttachEventLoop(&loop);
+  MetricsRegistry metrics;
+  machine.AttachMetrics(&metrics);
 
   PressureConfig pcfg;
   pcfg.low_free_frames = 16;
@@ -181,6 +184,10 @@ PointResult RunPoint(std::uint64_t pool_frames, std::uint64_t headroom, std::uin
   if (attr_json != nullptr) {
     *attr_json = TimeAttributionJson(machine);
   }
+  if (metrics_json != nullptr) {
+    *metrics_json = metrics.ToJson();
+  }
+  machine.AttachMetrics(nullptr);
   return r;
 }
 
@@ -208,12 +215,13 @@ int Main(int argc, char** argv) {
 
   JsonReport json("pressure");
   std::string attr_json;
+  std::string metrics_json;
   std::vector<PointResult> results;
   for (const std::uint64_t pool : pools) {
     for (const std::uint64_t headroom : headrooms) {
       // The tightest point's breakdown (copy-path degradation visible as
       // baseline/msg time) lands in the report; all conservation-checked.
-      const PointResult r = RunPoint(pool, headroom, n, &attr_json);
+      const PointResult r = RunPoint(pool, headroom, n, &attr_json, &metrics_json);
       results.push_back(r);
       std::printf("%8llu %9llu %9llu %9.1f Mb %6llu %6llu %7llu %7llu %6llu %6llu %6llu%s%s%s\n",
                   static_cast<unsigned long long>(r.pool_frames),
@@ -246,6 +254,7 @@ int Main(int argc, char** argv) {
     }
   }
   json.RawSection("time_attribution", attr_json);
+  json.RawSection("metrics", metrics_json);
   json.Write();
 
   // --- Self-checks: the degradation must be graceful --------------------------

@@ -31,7 +31,8 @@ struct RunResult {
   std::uint64_t bytes_copied;
 };
 
-RunResult Run(std::uint32_t drop_percent, std::string* attr_json = nullptr) {
+RunResult Run(std::uint32_t drop_percent, std::string* attr_json = nullptr,
+              std::string* metrics_json = nullptr) {
   Machine machine{MachineConfig{}};
   FbufSystem fsys(&machine);
   Rpc rpc(&machine);
@@ -57,6 +58,8 @@ RunResult Run(std::uint32_t drop_percent, std::string* attr_json = nullptr) {
   EventLoop loop;
   sender.AttachTimer(&loop, kRto);
   fsys.AttachEventLoop(&loop);
+  MetricsRegistry metrics;
+  machine.AttachMetrics(&metrics);
 
   constexpr int kMessages = 64;
   constexpr std::uint64_t kBytes = 32 * 1024;
@@ -92,6 +95,10 @@ RunResult Run(std::uint32_t drop_percent, std::string* attr_json = nullptr) {
   if (attr_json != nullptr) {
     *attr_json = TimeAttributionJson(machine);
   }
+  if (metrics_json != nullptr) {
+    *metrics_json = metrics.ToJson();
+  }
+  machine.AttachMetrics(nullptr);
   return RunResult{sink.bytes_received() * 8.0 / seconds / 1e6,
                    static_cast<double>(sender.retransmissions()) / kMessages,
                    sender.timer_fires(), machine.stats().bytes_copied};
@@ -104,10 +111,11 @@ int Main() {
               "timer-fires", "bytes-copied");
   JsonReport report("swp_goodput");
   std::string attr_json;
+  std::string metrics_json;
   for (const std::uint32_t loss : {0u, 5u, 10u, 20u, 40u, 60u}) {
     // The last sweep point's attribution (60% loss: retransmission-heavy)
     // lands in the report; every point is conservation-checked.
-    const RunResult r = Run(loss, &attr_json);
+    const RunResult r = Run(loss, &attr_json, &metrics_json);
     std::printf("%8u %14.1f %14.2f %14llu %14llu\n", loss, r.goodput_mbps, r.retx_per_msg,
                 static_cast<unsigned long long>(r.timer_fires),
                 static_cast<unsigned long long>(r.bytes_copied));
@@ -119,6 +127,7 @@ int Main() {
         .Field("bytes_copied", static_cast<double>(r.bytes_copied));
   }
   report.RawSection("time_attribution", attr_json);
+  report.RawSection("metrics", metrics_json);
   report.Write();
   std::printf(
       "\nreading: retransmissions grow with loss, yet bytes-copied stays zero — the\n"

@@ -538,7 +538,12 @@ Status FbufSystem::Free(Fbuf* fb, Domain& d) {
     return Status::kOk;
   }
 
-  // Final release by a receiver: queue a deallocation notice for the owner.
+  // Final release by a receiver: the notice travels by ring when a transport
+  // accepts it, otherwise it queues for piggybacking on RPC traffic.
+  if (notice_transport_ != nullptr &&
+      notice_transport_->SubmitDeallocNotice(d.id(), fb->originator, fb->id)) {
+    return Status::kOk;
+  }
   auto& pending = pending_notices_[{d.id(), fb->originator}];
   pending.push_back(fb->id);
   if (pending.size() >= config_.notice_threshold) {
@@ -594,6 +599,24 @@ void FbufSystem::DeliverNotices(DomainId from, DomainId to) {
       ReturnToOwner(fb);
     }
   }
+}
+
+void FbufSystem::ApplyRingNotice(DomainId holder, DomainId owner, FbufId id) {
+  if (id >= fbufs_.size()) {
+    return;
+  }
+  Fbuf* fb = fbufs_[id].get();
+  // The notice may have been overtaken: domain termination already drained
+  // it, or the fbuf died with its path. Never return a held or listed fbuf.
+  if (fb == nullptr || fb->dead || fb->free_listed || !fb->holders.empty()) {
+    return;
+  }
+  machine_->trace().Emit(TraceCategory::kIpc, "dealloc-notices", holder, 1);
+  machine_->stats().dealloc_notices++;
+  LayerScope layer(machine_->attribution(), CostDomain::kFbuf);
+  ActorScope actor(machine_->attribution(), owner);
+  PathScope pscope(machine_->attribution(), fb->path);
+  ReturnToOwner(fb);
 }
 
 void FbufSystem::ReturnToOwner(Fbuf* fb) {

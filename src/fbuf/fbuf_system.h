@@ -79,6 +79,19 @@ class PressureHooks {
   virtual std::uint64_t OnAllocationFailure(std::uint64_t pages_needed) = 0;
 };
 
+// Installed by the ring subsystem (src/ring): an alternative carrier for
+// §3.3 deallocation notices. When a transport is attached, a receiver's
+// final release offers the notice to it first; accepted notices travel as
+// ring entries (batched, amortized doorbell) and the transport later calls
+// FbufSystem::ApplyRingNotice on the owner's side. A false return falls back
+// to the classic pending-list path (piggyback + threshold flush), e.g. when
+// the pair has no ring or its submission queue is full.
+class RingNoticeTransport {
+ public:
+  virtual ~RingNoticeTransport() = default;
+  virtual bool SubmitDeallocNotice(DomainId holder, DomainId owner, FbufId fb) = 0;
+};
+
 class FbufSystem {
  public:
   explicit FbufSystem(Machine* machine, const FbufConfig& config = FbufConfig());
@@ -102,6 +115,16 @@ class FbufSystem {
 
   // Pressure integration (src/pressure installs these; nullptr detaches).
   void SetPressureHooks(PressureHooks* hooks) { pressure_ = hooks; }
+
+  // Ring integration (src/ring installs this; nullptr detaches and restores
+  // the classic piggyback/threshold notice path for every future release).
+  void SetNoticeTransport(RingNoticeTransport* t) { notice_transport_ = t; }
+
+  // Applies one ring-delivered deallocation notice on the owner's side:
+  // the fbuf returns to its originator's allocator exactly as a piggybacked
+  // notice would return it. Safe against the fbuf having died or been
+  // handled in the meantime (domain termination drains rings).
+  void ApplyRingNotice(DomainId holder, DomainId owner, FbufId id);
 
   // --- Quotas ----------------------------------------------------------------
   // Overrides the config's per-domain page quota for |d| (0 restores the
@@ -297,6 +320,7 @@ class FbufSystem {
   Rpc* rpc_ = nullptr;
   EventLoop* loop_ = nullptr;
   PressureHooks* pressure_ = nullptr;
+  RingNoticeTransport* notice_transport_ = nullptr;
   std::map<DomainId, std::uint64_t> quota_overrides_;
   std::map<DomainId, std::uint64_t> owned_pages_;  // quota charge per domain
   // (holder, owner) pairs with a flush event already in flight.

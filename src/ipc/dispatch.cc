@@ -72,6 +72,9 @@ DispatchQueue& Dispatcher::QueueForDomain(DomainId d) {
 
 void Dispatcher::Submit(DispatchQueue& q, SimTime ready, std::string label,
                         DispatchQueue::Work work, DispatchQueue::Done done) {
+  // The path active at submission time owns whatever queueing delay the item
+  // accumulates; the work itself re-establishes its own scopes when it runs.
+  const AttrPathId path = machine_->attribution().path();
   q.Enqueue(
       ready, std::move(label),
       [this, work = std::move(work)] {
@@ -82,7 +85,8 @@ void Dispatcher::Submit(DispatchQueue& q, SimTime ready, std::string label,
         }
         work();
       },
-      std::move(done));
+      std::move(done),
+      [this, path](SimTime wait) { path_wait_ns_[path] += wait; });
 }
 
 void Dispatcher::RunOnCpu(std::uint32_t cpu, SimTime ready, std::string label,

@@ -65,6 +65,12 @@ class Dispatcher {
   SimTime TotalWaitNs() const;
   SimTime MaxWaitNs() const;
 
+  // Queueing delay sliced by the I/O path that was active when the work was
+  // submitted (kAttrNoPath collects untagged submissions). Waits are latency,
+  // not CPU time, so they sit beside the attribution cells, keyed the same
+  // way the profiler keys its path coordinate.
+  const std::map<AttrPathId, SimTime>& PathWaitNs() const { return path_wait_ns_; }
+
  private:
   // Wraps |work| with the active-CPU switch and the dispatch cost, and
   // enqueues it on |q|.
@@ -75,6 +81,7 @@ class Dispatcher {
   Machine* machine_;
   EventLoop* loop_;
   std::map<DomainId, std::uint32_t> bindings_;
+  std::map<AttrPathId, SimTime> path_wait_ns_;
   std::vector<std::unique_ptr<DispatchQueue>> cpu_queues_;   // index = lane
   std::map<DomainId, std::unique_ptr<DispatchQueue>> domain_queues_;
 };

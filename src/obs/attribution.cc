@@ -26,6 +26,8 @@ const char* CostDomainName(CostDomain d) {
       return "app";
     case CostDomain::kDispatch:
       return "dispatch";
+    case CostDomain::kRing:
+      return "ring";
     case CostDomain::kWait:
       return "wait";
     case CostDomain::kOther:

@@ -54,6 +54,7 @@ enum class CostDomain : std::uint8_t {
   kMsg,       // message-layer data touching (checksums, HBIO copies, fills)
   kApp,       // application data touching (TouchRange word reads/writes)
   kDispatch,  // evented dispatch overhead (enqueue/run scheduling cost)
+  kRing,      // shared-memory transfer rings (descriptor writes, doorbells)
   kWait,      // clock moved to an event delivery time (host was idle)
   kOther,     // charge with no enclosing scope
   kCount,

@@ -1,6 +1,9 @@
 #include "src/proto/protocol.h"
 
 #include <cassert>
+#include <vector>
+
+#include "src/ring/ring_hub.h"
 
 namespace fbufs {
 
@@ -24,6 +27,13 @@ Status ProtocolStack::Deliver(const Message& m, Protocol* from, Protocol* to, bo
   Domain& dst = *to->domain();
   if (src.id() == dst.id()) {
     return down ? to->Push(m) : to->Pop(m);
+  }
+
+  if (rings_ != nullptr) {
+    TransferRing* ring = rings_->RingFor(src.id(), dst.id());
+    if (ring != nullptr) {
+      return DeliverRinged(m, to, down, src, dst, *ring);
+    }
   }
 
   // Proxy edge: a cross-domain invocation carrying the aggregate. The
@@ -55,6 +65,60 @@ Status ProtocolStack::Deliver(const Message& m, Protocol* from, Protocol* to, bo
   // unless the callee retained explicitly.
   const Status free_st = FreeMessage(m, dst);
   return Ok(st) ? free_st : st;
+}
+
+Status ProtocolStack::DeliverRinged(const Message& m, Protocol* to, bool down,
+                                    Domain& src, Domain& dst,
+                                    TransferRing& ring) {
+  const std::vector<Fbuf*> fbufs = m.Fbufs();
+  const AttrPathId path =
+      fbufs.empty() ? kAttrNoPath : static_cast<AttrPathId>(fbufs.front()->path);
+  {
+    // Producer-side half of the proxy edge: marshal (if non-integrated) and
+    // the eager reference transfers happen at submit, exactly as on the sync
+    // path, so the receiver holds its references before the descriptor is
+    // visible in the ring — the fbuf cannot die under the queued handoff.
+    LayerScope layer(machine_->attribution(), CostDomain::kProto);
+    ActorScope actor(machine_->attribution(), src.id());
+    if (!config_.integrated) {
+      machine_->clock().Advance(2 * fbufs.size() *
+                                machine_->costs().fbuf_list_marshal_ns);
+    }
+    const bool lazy = !to->touches_body();
+    for (Fbuf* fb : fbufs) {
+      const Status st = fsys_->Transfer(fb, src, dst, lazy);
+      if (!Ok(st)) {
+        return st;
+      }
+    }
+    if (domain_count_ > 2) {
+      machine_->clock().Advance((domain_count_ - 2) *
+                                machine_->costs().cache_pressure_ns);
+    }
+  }
+  Domain* dstp = &dst;
+  const Status sub = ring.SubmitHandoff(
+      path,
+      [this, m, to, down, dstp] {
+        LayerScope layer(machine_->attribution(), CostDomain::kProto);
+        ActorScope actor(machine_->attribution(), dstp->id());
+        const Status st = down ? to->Push(m) : to->Pop(m);
+        const Status free_st = FreeMessage(m, *dstp);
+        return Ok(st) ? free_st : st;
+      },
+      [this, m, dstp] { FreeMessage(m, *dstp); },
+      [this](Status st, SimTime) {
+        if (!Ok(st)) {
+          ring_errors_++;
+        }
+      });
+  if (!Ok(sub)) {
+    // Full SQ: release the references granted above and surface the
+    // retryable status (FlowBackoff::IsBackpressure) to the caller.
+    FreeMessage(m, dst);
+    return sub;
+  }
+  return Status::kOk;
 }
 
 Status ProtocolStack::FreeMessage(const Message& m, Domain& d) {

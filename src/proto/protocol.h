@@ -31,6 +31,7 @@
 namespace fbufs {
 
 class ProtocolStack;
+class RingHub;
 
 class Protocol {
  public:
@@ -99,6 +100,18 @@ class ProtocolStack {
   void set_domain_count(std::uint32_t n) { domain_count_ = n; }
   std::uint32_t domain_count() const { return domain_count_; }
 
+  // Opt-in ring transport (src/ring): with a hub attached, a cross-domain
+  // delivery whose (src, dst) pair has — or can lazily get — a ring submits
+  // a handoff descriptor instead of a synchronous Rpc::Invoke; the callee
+  // runs later, when the consumer drains its batch. nullptr (the default)
+  // keeps every delivery on the synchronous path, byte-identical to the
+  // pre-ring simulator.
+  void EnableRings(RingHub* rings) { rings_ = rings; }
+  RingHub* rings() { return rings_; }
+  // Deliveries whose deferred callee failed (the submit-time status only
+  // covers the descriptor write).
+  std::uint64_t ring_errors() const { return ring_errors_; }
+
   // Delivers |m| from |from| into |to| (Push when |down|, Pop otherwise),
   // crossing a protection boundary if their domains differ.
   Status Deliver(const Message& m, Protocol* from, Protocol* to, bool down);
@@ -110,11 +123,16 @@ class ProtocolStack {
   Status RetainMessage(const Message& m, Domain& d);
 
  private:
+  Status DeliverRinged(const Message& m, Protocol* to, bool down, Domain& src,
+                       Domain& dst, class TransferRing& ring);
+
   Machine* machine_;
   FbufSystem* fsys_;
   Rpc* rpc_;
   Config config_;
   std::uint32_t domain_count_ = 1;
+  RingHub* rings_ = nullptr;
+  std::uint64_t ring_errors_ = 0;
 };
 
 }  // namespace fbufs

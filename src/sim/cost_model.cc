@@ -35,6 +35,8 @@ CostParams CostParams::Zero() {
   p.ipc_user_user_ns = 0;
   p.cache_pressure_ns = 0;
   p.dispatch_ns = 0;
+  p.ring_entry_ns = 0;
+  p.ring_doorbell_ns = 0;
   p.proto_pdu_ns = 0;
   p.driver_pdu_ns = 0;
   p.driver_byte_ns = 0;

@@ -85,6 +85,15 @@ struct CostParams {
   // model folds this into its IPC crossing constants.
   SimTime dispatch_ns = 4000;
 
+  // --- Transfer rings ----------------------------------------------------------
+  // Write or read one descriptor slot of a shared-memory submission or
+  // completion ring (a few cache lines touched; no kernel involvement).
+  SimTime ring_entry_ns = 700;
+  // Ring the consumer's doorbell: one uncached/MMIO-class store plus the
+  // memory barrier before it. The wakeup it triggers is charged separately
+  // as an IPC crossing — this is only the producer-side store.
+  SimTime ring_doorbell_ns = 1000;
+
   // --- Protocol processing ---------------------------------------------------
   // Per-PDU control-path cost of one protocol layer (header build/parse,
   // demux, session lookup). Fitted so the receiving host's CPU load matches

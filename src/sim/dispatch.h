@@ -65,6 +65,9 @@ class DispatchQueue {
  public:
   using Work = std::function<void()>;
   using Done = std::function<void(SimTime)>;
+  // Per-item queueing-delay observer (the aggregate observer below sees every
+  // item; this one lets the submitter slice waits by its own key, e.g. path).
+  using WaitCb = std::function<void(SimTime)>;
 
   DispatchQueue(EventLoop* loop, CpuLane* lane, std::string name)
       : loop_(loop), lane_(lane), name_(std::move(name)) {}
@@ -88,8 +91,10 @@ class DispatchQueue {
 
   // Enqueues |work|, ready to run at |ready| on the lane's timeline. The
   // queue drains itself through the event loop; callers never block.
-  void Enqueue(SimTime ready, std::string label, Work work, Done done = {}) {
-    items_.push_back(Item{ready, std::move(label), std::move(work), std::move(done)});
+  void Enqueue(SimTime ready, std::string label, Work work, Done done = {},
+               WaitCb wait_cb = {}) {
+    items_.push_back(Item{ready, std::move(label), std::move(work), std::move(done),
+                          std::move(wait_cb)});
     enqueued_++;
     if (depth() > max_depth_) {
       max_depth_ = depth();
@@ -116,6 +121,7 @@ class DispatchQueue {
     std::string label;
     Work work;
     Done done;
+    WaitCb wait_cb;
   };
 
   void SchedulePump(SimTime ready) {
@@ -142,6 +148,9 @@ class DispatchQueue {
     }
     if (wait_obs_) {
       wait_obs_(start, wait);
+    }
+    if (item.wait_cb) {
+      item.wait_cb(wait);
     }
     if (enter_) {
       enter_();

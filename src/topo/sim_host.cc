@@ -162,6 +162,17 @@ SimHost::SimHost(const SimHostConfig& cfg, HostRole host_role,
   }
 }
 
+void SimHost::EnableRings(EventLoop* loop, const RingConfig& cfg) {
+  if (ring_hub != nullptr) {
+    ring_hub->set_default_config(cfg);
+    return;
+  }
+  ring_hub = std::make_unique<RingHub>(&machine, &fsys, &rpc, loop, cfg,
+                                       /*auto_create=*/true);
+  stack->EnableRings(ring_hub.get());
+  fsys.SetNoticeTransport(ring_hub.get());
+}
+
 void SimHost::WireTransmit(DriverProtocol* out_driver) {
   out_driver->set_on_transmit(
       [this](std::vector<std::uint8_t> payload, std::uint32_t out_vci) {

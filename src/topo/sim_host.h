@@ -30,6 +30,7 @@
 #include "src/proto/ip.h"
 #include "src/proto/test_protocols.h"
 #include "src/proto/udp.h"
+#include "src/ring/ring_hub.h"
 #include "src/sim/event_loop.h"
 
 namespace fbufs {
@@ -125,6 +126,10 @@ class SimHost {
   // Evented dispatch (multicore runs only): created by the TopologyRunner
   // when the host has more than one CPU lane.
   std::unique_ptr<Dispatcher> dispatcher;
+  // Transfer rings (opt-in): batched descriptor handoffs replace per-delivery
+  // synchronous crossings on every (src, dst) pair the stack touches, and
+  // dealloc notices ride the rings instead of the piggyback list.
+  std::unique_ptr<RingHub> ring_hub;
   std::unique_ptr<ProtocolStack> stack;
   // Sender side uses source/udp/ip/driver; receiver driver/ip/udp/sink.
   std::unique_ptr<SourceProtocol> source;
@@ -158,6 +163,11 @@ class SimHost {
   // path. |index| names the domain ("app-flow<index>").
   SinkProtocol* AddFlowEndpoint(std::uint32_t flow_vci, std::uint16_t flow_port,
                                 std::size_t index);
+
+  // Switches this host's cross-domain deliveries and dealloc notices onto
+  // transfer rings draining through |loop|. Call after any dispatcher is
+  // attached; idempotent per host (subsequent calls only update the config).
+  void EnableRings(EventLoop* loop, const RingConfig& cfg = RingConfig{});
 
   // The adapter feeding a leg that leaves this host.
   OsirisAdapter& out_adapter() {

@@ -6,8 +6,12 @@ begin span has a matching end (per pid/tid the B/E stream must be properly
 bracketed), at least one instant (phase marker) is present, counter ('C')
 events carry numeric args with non-decreasing timestamps per track, and
 every lane_conservation instant balances to the nanosecond
-(busy + idle == elapsed). Exits non-zero on the first violation. Used by
-CI after bench/campaigns and bench/multicore run.
+(busy + idle == elapsed). Transfer-ring counter tracks get their own
+checks: every '<ring>/sq_depth' track must come with a matching
+'<ring>/doorbells' track, depths must be non-negative, and doorbell counts
+must be non-decreasing; traces from ablation_rings must contain at least
+one ring track. Exits non-zero on the first violation. Used by CI after
+bench/campaigns, bench/multicore and bench/ablation_rings run.
 """
 import json
 import sys
@@ -27,6 +31,26 @@ def check_conservation(path, e):
         raise SystemExit(f"{path}: negative lane time: {args}")
 
 
+def check_ring_tracks(path, counter_values):
+    """Every ring exports sq_depth (gauge, >= 0) and doorbells (monotone)."""
+    rings = 0
+    for name, values in counter_values.items():
+        if not name.endswith("/sq_depth"):
+            continue
+        rings += 1
+        ring = name[: -len("/sq_depth")]
+        if any(v < 0 for v in values):
+            raise SystemExit(f"{path}: negative SQ depth on track '{name}'")
+        bells = counter_values.get(ring + "/doorbells")
+        if bells is None:
+            raise SystemExit(
+                f"{path}: ring '{ring}' has sq_depth but no doorbells track")
+        if any(b < a for a, b in zip(bells, bells[1:])):
+            raise SystemExit(
+                f"{path}: doorbell count decreases on track '{ring}/doorbells'")
+    return rings
+
+
 def validate(path):
     with open(path) as f:
         doc = json.load(f)
@@ -35,6 +59,7 @@ def validate(path):
         raise SystemExit(f"{path}: empty traceEvents")
     stacks = {}
     counter_ts = {}
+    counter_values = {}
     begins = ends = instants = counters = lanes_checked = 0
     for e in events:
         ph = e["ph"]
@@ -69,6 +94,7 @@ def validate(path):
                     f"{path}: counter '{e['name']}' timestamps go backwards "
                     f"({counter_ts[track]} -> {ts})")
             counter_ts[track] = ts
+            counter_values.setdefault(e["name"], []).extend(args.values())
     if begins != ends:
         raise SystemExit(f"{path}: unbalanced spans ({begins} B vs {ends} E)")
     for lane, stack in stacks.items():
@@ -76,9 +102,13 @@ def validate(path):
             raise SystemExit(f"{path}: {len(stack)} unclosed span(s) on lane {lane}")
     if instants == 0:
         raise SystemExit(f"{path}: no instants (phase markers missing)")
+    rings = check_ring_tracks(path, counter_values)
+    if "ablation_rings" in path and rings == 0:
+        raise SystemExit(f"{path}: ablation_rings trace has no ring counter tracks")
+    ringinfo = f", {rings} ring track(s)" if rings else ""
     extra = f", {lanes_checked} lane(s) conserved" if lanes_checked else ""
     print(f"{path}: {len(events)} events, {begins} spans, {instants} instants, "
-          f"{counters} counter points{extra}")
+          f"{counters} counter points{extra}{ringinfo}")
 
 
 def main(argv):
