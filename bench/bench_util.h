@@ -3,6 +3,8 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -15,6 +17,7 @@
 #include "src/fbuf/fbuf_system.h"
 #include "src/ipc/rpc.h"
 #include "src/obs/metrics.h"
+#include "src/sim/rng.h"
 #include "src/vm/machine.h"
 
 namespace fbufs {
@@ -135,6 +138,96 @@ inline double PerPageSlopeUs(BenchWorld& w, TransferFacility& f, bool reuse_buff
   const SimTime t2 = run(kLarge);
   return static_cast<double>(t2 - t1) / 1000.0 / (kIters * (kLarge - kSmall));
 }
+
+// --- Deterministic heavy-tail generators -------------------------------------
+//
+// Workload generators for the server macro-benches: Zipf object popularity
+// and bounded-Pareto sizes. Seeded on the repo's SplitMix64 Rng (never
+// std::rand), and built from IEEE-754 exactly-rounded operations only
+// (+ - * / sqrt; pow's rounding is libm-dependent), so the draw sequences
+// are bit-identical across platforms and tests can pin them exactly.
+
+// x^(q/4) for integer q >= 0: quarter powers from repeated multiplication
+// and correctly-rounded square roots.
+inline double PowQuarter(double x, unsigned q) {
+  double whole = 1.0;
+  for (unsigned i = 0; i < q / 4; ++i) {
+    whole *= x;
+  }
+  double frac = 1.0;
+  switch (q % 4) {
+    case 0:
+      break;
+    case 1:
+      frac = std::sqrt(std::sqrt(x));
+      break;
+    case 2:
+      frac = std::sqrt(x);
+      break;
+    case 3:
+      frac = std::sqrt(std::sqrt(x)) * std::sqrt(x);
+      break;
+  }
+  return whole * frac;
+}
+
+// Zipf popularity: rank r in [1, n] drawn with probability proportional to
+// 1 / r^s, the exponent in quarters (s_quarters = 4 ⇒ s = 1.0, the classic
+// web-object curve). Inverse CDF over a precomputed cumulative table.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t seed, std::uint64_t n, unsigned s_quarters)
+      : rng_(seed), cdf_(n) {
+    double cum = 0.0;
+    for (std::uint64_t r = 1; r <= n; ++r) {
+      cum += 1.0 / PowQuarter(static_cast<double>(r), s_quarters);
+      cdf_[r - 1] = cum;
+    }
+  }
+
+  // Zero-based rank in [0, n); 0 is the most popular object.
+  std::uint64_t Next() {
+    // 53 mantissa bits of the raw draw: uniform in [0, 1), exactly.
+    const double u =
+        static_cast<double>(rng_.Next() >> 11) * (1.0 / 9007199254740992.0);
+    const double target = u * cdf_.back();
+    const std::size_t idx = static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), target) - cdf_.begin());
+    return std::min<std::uint64_t>(idx, cdf_.size() - 1);
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+// Bounded-Pareto sizes in [x_min, x_max]: x_min * (1/U)^(q/4), a Pareto
+// tail with exponent alpha = 4/q (q = 3 ⇒ alpha ≈ 1.33, the classic
+// heavy-tailed file-size regime; q = 2 ⇒ alpha = 2, thinner).
+class ParetoGenerator {
+ public:
+  ParetoGenerator(std::uint64_t seed, std::uint64_t x_min, std::uint64_t x_max,
+                  unsigned inv_alpha_quarters)
+      : rng_(seed), min_(x_min), max_(x_max), q_(inv_alpha_quarters) {}
+
+  std::uint64_t Next() {
+    // U in (0, 1]: the +1 keeps it nonzero, so 1/U stays finite.
+    const double u = static_cast<double>((rng_.Next() >> 11) + 1) *
+                     (1.0 / 9007199254740992.0);
+    const double size = static_cast<double>(min_) * PowQuarter(1.0 / u, q_);
+    if (!(size < static_cast<double>(max_))) {
+      return max_;
+    }
+    const std::uint64_t s = static_cast<std::uint64_t>(size);
+    return s < min_ ? min_ : s;
+  }
+
+ private:
+  Rng rng_;
+  std::uint64_t min_;
+  std::uint64_t max_;
+  unsigned q_;
+};
 
 // --- Output helpers ----------------------------------------------------------
 

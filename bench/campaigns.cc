@@ -1,7 +1,7 @@
 // Fault-injection campaign driver: scripted failures against live worlds,
 // with §3.3 cleanup rules audited under fire.
 //
-// Five named campaigns, each writing CAMPAIGN_<name>.json:
+// Six named campaigns, each writing CAMPAIGN_<name>.json:
 //
 //   loss_burst           — two senders fan in through one switch port; a 30%
 //                          loss burst hits one uplink, the trunk flaps dark,
@@ -27,6 +27,11 @@
 //                          backoff under exhaustion. Terminating the
 //                          hoarder reclaims its entire quota (§3.3), the
 //                          producer resumes, and the run drains clean.
+//   server_churn         — a ServeWorld client's app domain is destroyed
+//                          mid-download and its access link flaps dark. The
+//                          dead client's flows fail, every other client
+//                          drains, and the post-churn audit shows zero
+//                          leaked frames with every cache pin released.
 //
 // Everything is deterministic: same seed and schedule produce byte-identical
 // JSON. --smoke scales message counts and fault times down for CI.
@@ -39,6 +44,8 @@
 #include "src/fault/campaign.h"
 #include "src/fault/swp_world.h"
 #include "src/obs/trace_export.h"
+#include "src/serve/serve_world.h"
+#include "src/sim/rng.h"
 #include "src/topo/topo_config.h"
 
 namespace fbufs {
@@ -444,6 +451,83 @@ CampaignReport RunHoarder() {
   return rep;
 }
 
+// --- Campaign 6: destroy a file-serving client mid-download ------------------
+
+CampaignReport RunServerChurn() {
+  ServeWorldConfig wc;
+  wc.clients = 4;
+  ServeWorld world(wc);
+  ArmHostTrace(world.server().machine);
+  ArmHostTrace(world.client(0).machine);
+
+  CampaignRunner cr("server_churn", wc.topo_seed, &world.loop());
+  // No TopologyRunner here — ServeWorld drives its own wire — so phase rows
+  // carry audits and fault markers, not flow goodput.
+  cr.AttachTopology(&world.topo(), nullptr);
+  cr.AddAuditedHost(world.server().machine.name(), &world.server().machine,
+                    &world.server().fsys);
+  for (std::size_t c = 0; c < world.client_count(); ++c) {
+    cr.AddAuditedHost(world.client(c).machine.name(), &world.client(c).machine,
+                      &world.client(c).fsys);
+  }
+
+  FaultSchedule s;
+  s.name = "server_churn";
+  // Absolute, NOT smoke-scaled: each cache miss advances the server clock by
+  // a disk access (~2 ms), so deliveries land long after the arrival storm
+  // in either mode — the axe at 10 ms falls while downloads are in flight.
+  constexpr SimTime kAxe = 10 * kMillisecond;
+  s.Add({.kind = FaultAction::Kind::kTerminateDomain,
+         .at = kAxe,
+         .node = world.client_node(0),
+         .domain = world.client(0).sink->domain()->name(),
+         .label = "terminate/client0-app"});
+  s.Add({.kind = FaultAction::Kind::kLinkFlap,
+         .at = kAxe,
+         .duration = At(20),
+         .link = world.client_link(0),
+         .label = "flap/client0-link"});
+  cr.Arm(s);
+  // Immediately after the kernel's §3.3 cleanup swept the dead domain.
+  cr.ScheduleAudit(kAxe, "post-churn");
+
+  std::vector<ServeRequestSpec> schedule;
+  Rng pick(wc.topo_seed ^ 0xc402);
+  const std::uint64_t requests = 2000 / g_scale;
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    ServeRequestSpec r;
+    r.at = i * 5000;  // 5 us interarrival: the storm outpaces the disk
+    r.client = static_cast<std::uint32_t>(i % wc.clients);
+    r.file = pick.Next() % 64;
+    r.blocks = 1 + static_cast<std::uint32_t>(pick.Next() % 4);
+    schedule.push_back(r);
+  }
+  const ServeRunStats st = world.Run(schedule);
+
+  const bool pins_clean = world.cache().total_pins() == 0 &&
+                          world.file_server().inflight_requests() == 0;
+  const bool ok = pins_clean && st.failed > 0 && st.completed > 0 &&
+                  st.completed + st.failed == st.requests;
+  cr.SetOutcome(
+      ok, ok ? "dead client's " + std::to_string(st.failed) +
+                   " flows failed cleanly; " + std::to_string(st.completed) +
+                   " drained; every cache pin released"
+             : "expected clean per-flow failure with zero retained pins");
+  CampaignReport rep = cr.Finish();
+  rep.AddRow({{"requests", static_cast<double>(st.requests)},
+              {"completed", static_cast<double>(st.completed)},
+              {"failed", static_cast<double>(st.failed)},
+              {"served_blocks", static_cast<double>(st.served_blocks)},
+              {"hit_ratio", st.hit_ratio},
+              {"goodput_mbps", st.goodput_mbps}});
+
+  TraceExporter ex;
+  ex.AddHost(world.server().machine.name(), 1, world.server().machine.trace());
+  ex.AddHost(world.client(0).machine.name(), 2, world.client(0).machine.trace());
+  WriteTrace("server_churn", ex);
+  return rep;
+}
+
 int Main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -455,8 +539,8 @@ int Main(int argc, char** argv) {
 
   bool all_passed = true;
   const std::vector<CampaignReport> reports = {
-      RunLossBurst(), RunAckOnlyLoss(), RunRtoSweep(), RunTerminateOriginator(),
-      RunHoarder()};
+      RunLossBurst(),           RunAckOnlyLoss(), RunRtoSweep(),
+      RunTerminateOriginator(), RunHoarder(),     RunServerChurn()};
   for (const CampaignReport& r : reports) {
     PrintReport(r);
     r.Write();

@@ -55,6 +55,10 @@ bool FileCache::Evict(const Key& key, EvictReason reason) {
   if (it == blocks_.end()) {
     return false;
   }
+  if (it->second.pins > 0) {
+    pin_blocked_evictions_++;
+    return false;
+  }
   for (Fbuf* fb : it->second.content.Fbufs()) {
     fsys_->Free(fb, *kernel_);
   }
@@ -74,13 +78,26 @@ bool FileCache::Evict(const Key& key, EvictReason reason) {
   return true;
 }
 
+bool FileCache::EvictOneUnpinned(EvictReason reason) {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    auto bit = blocks_.find(*it);
+    if (bit == blocks_.end() || bit->second.pins > 0) {
+      pin_blocked_evictions_++;
+      continue;
+    }
+    const Key victim = *it;  // copy: Evict erases the list node behind *it
+    return Evict(victim, reason);
+  }
+  return false;
+}
+
 Status FileCache::Read(FileId file, std::uint64_t block, Domain& reader, Message* out) {
   const Key key{file, block};
   auto it = blocks_.find(key);
   if (it == blocks_.end()) {
     misses_++;
-    while (blocks_.size() >= config_.capacity_blocks) {
-      Evict(lru_.back(), EvictReason::kCapacity);
+    while (blocks_.size() >= config_.capacity_blocks &&
+           EvictOneUnpinned(EvictReason::kCapacity)) {
     }
     Message fetched;
     const Status st = FetchFromDisk(key, &fetched);
@@ -94,12 +111,19 @@ Status FileCache::Read(FileId file, std::uint64_t block, Domain& reader, Message
     TouchLru(key, it->second);
   }
   // Grant the reader references; read-only mappings are built on first use
-  // and retained afterwards (the block's "path" warms per reader).
+  // and retained afterwards (the block's "path" warms per reader). A
+  // partial grant (dead reader, quota) rolls back so the failure leaves the
+  // reader holding nothing.
+  std::vector<Fbuf*> granted;
   for (Fbuf* fb : it->second.content.Fbufs()) {
     const Status st = fsys_->Transfer(fb, *kernel_, reader);
     if (!Ok(st)) {
+      for (Fbuf* g : granted) {
+        fsys_->Free(g, reader);
+      }
       return st;
     }
+    granted.push_back(fb);
   }
   *out = it->second.content;
   return Status::kOk;
@@ -119,35 +143,87 @@ Status FileCache::Write(FileId file, std::uint64_t block, Domain& writer, const 
   if (m.length() != config_.block_bytes) {
     return Status::kInvalidArgument;
   }
+  const Key key{file, block};
+  // A pinned block has readers mid-transfer: replacing its content now
+  // would yank frames out from under them. Busy — retry once they unpin.
+  auto existing = blocks_.find(key);
+  if (existing != blocks_.end() && existing->second.pins > 0) {
+    pin_blocked_evictions_++;
+    return Status::kExhausted;
+  }
   // Capture by reference and freeze: the cache must not be exposed to
   // asynchronous modification by the writer (volatile fbufs are secured).
+  // A partial capture rolls the kernel's references back out.
+  std::vector<Fbuf*> captured;
+  auto rollback = [&](Status st) {
+    for (Fbuf* c : captured) {
+      fsys_->Free(c, *kernel_);
+    }
+    return st;
+  };
   for (Fbuf* fb : m.Fbufs()) {
     Status st = fsys_->Transfer(fb, writer, *kernel_);
     if (!Ok(st)) {
-      return st;
+      return rollback(st);
     }
+    captured.push_back(fb);
     st = fsys_->Secure(fb, *kernel_);
     if (!Ok(st)) {
-      return st;
+      return rollback(st);
     }
   }
-  const Key key{file, block};
   Evict(key, EvictReason::kOverwrite);
   lru_.push_front(key);
   blocks_.emplace(key, CachedBlock{m, lru_.begin()});
-  while (blocks_.size() > config_.capacity_blocks) {
-    Evict(lru_.back(), EvictReason::kCapacity);
+  while (blocks_.size() > config_.capacity_blocks &&
+         EvictOneUnpinned(EvictReason::kCapacity)) {
   }
   return Status::kOk;
 }
 
 std::uint64_t FileCache::Shrink(std::uint64_t target_blocks) {
   std::uint64_t evicted = 0;
-  while (blocks_.size() > target_blocks) {
-    Evict(lru_.back(), EvictReason::kPressure);
+  while (blocks_.size() > target_blocks &&
+         EvictOneUnpinned(EvictReason::kPressure)) {
     evicted++;
   }
   return evicted;
+}
+
+Status FileCache::Pin(FileId file, std::uint64_t block) {
+  auto it = blocks_.find(Key{file, block});
+  if (it == blocks_.end()) {
+    return Status::kNotFound;
+  }
+  if (it->second.pins++ == 0) {
+    pinned_blocks_++;
+  }
+  total_pins_++;
+  return Status::kOk;
+}
+
+Status FileCache::Unpin(FileId file, std::uint64_t block) {
+  auto it = blocks_.find(Key{file, block});
+  if (it == blocks_.end()) {
+    return Status::kNotFound;
+  }
+  if (it->second.pins == 0) {
+    return Status::kInvalidArgument;
+  }
+  if (--it->second.pins == 0) {
+    pinned_blocks_--;
+  }
+  total_pins_--;
+  return Status::kOk;
+}
+
+bool FileCache::IsPinned(FileId file, std::uint64_t block) const {
+  auto it = blocks_.find(Key{file, block});
+  return it != blocks_.end() && it->second.pins > 0;
+}
+
+bool FileCache::Resident(FileId file, std::uint64_t block) const {
+  return blocks_.find(Key{file, block}) != blocks_.end();
 }
 
 }  // namespace fbufs

@@ -48,20 +48,39 @@ class FileCache {
   // Reads one block: on a hit the reader gains a reference to the cached
   // fbuf (mapping work only the first time); on a miss the block is "read
   // from disk" into a fresh kernel fbuf. *out views exactly the block's
-  // bytes. The reader must Release() the message when done.
+  // bytes. The reader must Release() the message when done. On any failure
+  // — backing region exhausted on the miss path, or a partial reference
+  // grant — the Status propagates and every reference already granted to
+  // |reader| is rolled back (nothing is silently staged; PR 4 discipline).
   Status Read(FileId file, std::uint64_t block, Domain& reader, Message* out);
 
   // Releases a reader's references from a previous Read.
   Status Release(const Message& m, Domain& reader);
 
+  // --- Pinning ---------------------------------------------------------------
+  // A pinned block cannot be evicted — not by capacity churn, not by a
+  // pressure Shrink, not by an overwrite — until its pin count drops to
+  // zero. The serve subsystem pins blocks it has in flight on the network
+  // and unpins when the flow's dealloc notice returns (§3.3), so pressure
+  // sweeps can never pull a frame out from under an unfinished transfer.
+  // Pin/Unpin address resident blocks only: kNotFound otherwise.
+  Status Pin(FileId file, std::uint64_t block);
+  Status Unpin(FileId file, std::uint64_t block);
+  bool IsPinned(FileId file, std::uint64_t block) const;
+  bool Resident(FileId file, std::uint64_t block) const;
+
   // Zero-copy write: captures a reference to the application's immutable
   // aggregate as the block's new content (the old block is dropped). |m|
   // must be exactly block_bytes long and the writer must hold its fbufs.
+  // Writing over a pinned block returns kExhausted (busy — retryable once
+  // the in-flight readers unpin); partial capture failures roll back the
+  // kernel references already taken.
   Status Write(FileId file, std::uint64_t block, Domain& writer, const Message& m);
 
   // Drops clean blocks, least recently used first, until at most
-  // |target_blocks| remain (a pressure-driven eviction). Returns blocks
-  // evicted.
+  // |target_blocks| remain (a pressure-driven eviction). Pinned blocks are
+  // passed over, so the sweep may leave more than |target_blocks| resident.
+  // Returns blocks evicted.
   std::uint64_t Shrink(std::uint64_t target_blocks);
 
   std::uint64_t hits() const { return hits_; }
@@ -75,6 +94,12 @@ class FileCache {
   std::uint64_t pressure_evictions() const { return pressure_evictions_; }
   std::uint64_t disk_reads() const { return disk_reads_; }
   std::uint64_t resident_blocks() const { return blocks_.size(); }
+  std::uint64_t pinned_blocks() const { return pinned_blocks_; }
+  std::uint64_t total_pins() const { return total_pins_; }
+  // Eviction attempts (direct or scan passes) refused because the victim
+  // was pinned.
+  std::uint64_t pin_blocked_evictions() const { return pin_blocked_evictions_; }
+  const FileCacheConfig& config() const { return config_; }
 
  private:
   struct Key {
@@ -90,6 +115,9 @@ class FileCache {
     // application aggregate (write path); either way, immutable.
     Message content;
     std::list<Key>::iterator lru_pos;
+    // In-flight references held by servers (FileServer pins blocks for the
+    // duration of a network transfer); eviction refuses pinned blocks.
+    std::uint32_t pins = 0;
   };
 
   // Why a block is being dropped; each reason has its own counter.
@@ -97,8 +125,11 @@ class FileCache {
 
   void TouchLru(const Key& key, CachedBlock& cb);
   Status FetchFromDisk(const Key& key, Message* out);
-  // Returns true if the block was resident and got dropped.
+  // Returns true if the block was resident, unpinned, and got dropped.
   bool Evict(const Key& key, EvictReason reason);
+  // Evicts the least-recently-used unpinned block; false when every
+  // resident block is pinned (the cache transiently exceeds its target).
+  bool EvictOneUnpinned(EvictReason reason);
 
   FbufSystem* fsys_;
   FileCacheConfig config_;
@@ -113,6 +144,9 @@ class FileCache {
   std::uint64_t overwrite_evictions_ = 0;
   std::uint64_t pressure_evictions_ = 0;
   std::uint64_t disk_reads_ = 0;
+  std::uint64_t pinned_blocks_ = 0;
+  std::uint64_t total_pins_ = 0;
+  std::uint64_t pin_blocked_evictions_ = 0;
 };
 
 }  // namespace fbufs

@@ -1,0 +1,125 @@
+// FileServer: the zero-copy file-serving protocol (sendfile, the fbuf way).
+//
+// The server is an application-domain protocol on a sender-shaped host. It
+// accepts HTTP-like GET requests over the IPC/ring fabric (a request fbuf
+// delivered cross-domain into Pop), resolves them in the FileCache, and
+// sends every cached block straight down the network stack by reference:
+// the block's fbuf IS the response payload — headers are prepended in front
+// of it, the driver DMA-gathers from its frames, and bytes_copied stays
+// zero. That is sendfile()/splice(): file cache pages wired into the
+// transmit path without ever visiting a staging buffer.
+//
+// Pin lifecycle (§3.3 discipline): every block handed to the wire is pinned
+// in the cache for the duration of the flow, so capacity churn and pressure
+// sweeps cannot evict the frames mid-transfer. The pin drops when the
+// flow's dealloc notice returns (CompleteRequest) or the flow dies
+// (AbortRequest); a request that fails mid-serve unpins everything it
+// pinned before propagating the Status — zero leaked pins, always.
+//
+// Misses under memory pressure take the copy/degradable path: the block is
+// staged through one persistent server-owned fbuf (bounded footprint),
+// paying CopyCost and counting degraded_pdus/bytes_copied, exactly like
+// DegradablePath does for senders. Without a PressureManager attached, a
+// backpressure failure propagates to the caller instead of silently
+// staging (PR 4 rollback discipline).
+#ifndef SRC_SERVE_FILE_SERVER_H_
+#define SRC_SERVE_FILE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/cache/file_cache.h"
+#include "src/pressure/pressure.h"
+#include "src/proto/protocol.h"
+#include "src/serve/request.h"
+
+namespace fbufs {
+
+class FileServer : public Protocol {
+ public:
+  // Outcome of one request's serve pass (the cache/stack work; wire
+  // delivery is the runner's business). Fired at the end of every decoded
+  // Pop, success or failure, so the request runner can drive retries and
+  // wire scheduling off one hook in both sync and ring transports.
+  struct Served {
+    std::uint64_t request_id = 0;
+    std::uint32_t client = 0;
+    Status status = Status::kOk;
+    std::uint32_t blocks = 0;  // blocks pushed down the stack
+    std::uint32_t hit_blocks = 0;
+    std::uint32_t degraded_blocks = 0;
+  };
+  using ServedFn = std::function<void(const Served&)>;
+
+  FileServer(Domain* domain, ProtocolStack* stack, FileCache* cache)
+      : Protocol("file-server", domain, stack), cache_(cache) {}
+  ~FileServer() override;
+
+  void set_on_served(ServedFn fn) { on_served_ = std::move(fn); }
+
+  // Enables the degraded miss path: when the cache cannot stage a block
+  // (backpressure), it is served through one persistent staging fbuf
+  // allocated on |staging_path| at copy cost instead of failing the
+  // request. The staging fbuf is allocated eagerly, while memory is still
+  // healthy — by the time the degraded path is needed, allocation is by
+  // definition failing.
+  void AttachPressure(PressureManager* pressure, PathId staging_path);
+
+  Status Push(Message) override { return Status::kInvalidArgument; }
+  // One GET request: parse, then serve each block by reference (pin ->
+  // SendDown -> release our refs; the pin outlives Pop).
+  Status Pop(Message m) override;
+
+  // The flow's dealloc notice returned: the wire is done with the blocks.
+  Status CompleteRequest(std::uint64_t request_id);
+  // The flow failed (client died, link never recovered): same pin release,
+  // counted separately.
+  Status AbortRequest(std::uint64_t request_id);
+
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t completed_requests() const { return completed_requests_; }
+  std::uint64_t aborted_requests() const { return aborted_requests_; }
+  std::uint64_t parse_errors() const { return parse_errors_; }
+  std::uint64_t blocks_served() const { return blocks_served_; }
+  std::uint64_t hit_blocks() const { return hit_blocks_; }
+  std::uint64_t degraded_blocks() const { return degraded_blocks_; }
+  std::uint64_t bytes_served() const { return bytes_served_; }
+  // Requests whose pins are still held (serve done, dealloc notice not yet
+  // returned).
+  std::uint64_t inflight_requests() const { return inflight_.size(); }
+
+ private:
+  struct Inflight {
+    std::uint32_t client = 0;
+    std::vector<std::pair<FileId, std::uint64_t>> pins;
+  };
+
+  // Allocates the persistent staging fbuf if it is not already held.
+  Status EnsureStaging();
+  // Serves one block through the persistent staging fbuf at copy cost.
+  Status ServeDegraded(FileId file, std::uint64_t block);
+  void ReleasePins(std::uint64_t request_id);
+
+  FileCache* cache_;
+  PressureManager* pressure_ = nullptr;
+  PathId staging_path_ = kNoPath;
+  Fbuf* staging_ = nullptr;
+  ServedFn on_served_;
+  std::map<std::uint64_t, Inflight> inflight_;
+
+  std::uint64_t requests_ = 0;
+  std::uint64_t completed_requests_ = 0;
+  std::uint64_t aborted_requests_ = 0;
+  std::uint64_t parse_errors_ = 0;
+  std::uint64_t blocks_served_ = 0;
+  std::uint64_t hit_blocks_ = 0;
+  std::uint64_t degraded_blocks_ = 0;
+  std::uint64_t bytes_served_ = 0;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_SERVE_FILE_SERVER_H_

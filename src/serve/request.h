@@ -1,0 +1,60 @@
+// HTTP-like GET request framing for the file-serving subsystem.
+//
+// A request names a file and a length in cache blocks, plus the flow id the
+// response (and its §3.3 dealloc notice) will be tracked under and the
+// client index the response is routed back to. The wire form is a short
+// human-readable line — sendfiled's local request channel carries exactly
+// this kind of framed GET — written into a small fbuf and delivered to the
+// FileServer over the IPC/ring fabric like any other cross-domain message.
+#ifndef SRC_SERVE_REQUEST_H_
+#define SRC_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <cstdio>
+
+#include "src/cache/file_cache.h"
+
+namespace fbufs {
+
+struct ServeRequest {
+  std::uint64_t id = 0;      // flow id: names the response + dealloc notice
+  std::uint32_t client = 0;  // requesting client (response routing)
+  FileId file = 0;
+  std::uint32_t blocks = 0;  // requested length, in cache blocks
+};
+
+// Encodes |r| as "GET /f<file> b=<blocks> r=<id> c=<client>\n" into |buf|.
+// Returns the encoded length (including the newline), or 0 if |cap| is too
+// small.
+inline std::size_t EncodeRequest(const ServeRequest& r, char* buf,
+                                 std::size_t cap) {
+  const int n = std::snprintf(
+      buf, cap, "GET /f%u b=%u r=%llu c=%u\n", r.file, r.blocks,
+      static_cast<unsigned long long>(r.id), r.client);
+  if (n <= 0 || static_cast<std::size_t>(n) >= cap) {
+    return 0;
+  }
+  return static_cast<std::size_t>(n);
+}
+
+// Parses a request line produced by EncodeRequest. |buf| must be
+// NUL-terminated. Returns false on malformed input.
+inline bool DecodeRequest(const char* buf, ServeRequest* out) {
+  unsigned file = 0;
+  unsigned blocks = 0;
+  unsigned long long id = 0;
+  unsigned client = 0;
+  if (std::sscanf(buf, "GET /f%u b=%u r=%llu c=%u", &file, &blocks, &id,
+                  &client) != 4) {
+    return false;
+  }
+  out->file = file;
+  out->blocks = blocks;
+  out->id = id;
+  out->client = client;
+  return true;
+}
+
+}  // namespace fbufs
+
+#endif  // SRC_SERVE_REQUEST_H_

@@ -224,6 +224,131 @@ TEST_F(FileCacheTest, CoexistsWithNetworkTrafficInOneMemoryPool) {
   EXPECT_EQ(cache.misses(), 3u);
 }
 
+TEST_F(FileCacheTest, PinnedBlockSurvivesPressureSweep) {
+  FileCache cache(&world_.fsys, SmallConfig());
+  Message m;
+  ASSERT_EQ(cache.Read(1, 0, *app_, &m), Status::kOk);
+  ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+  ASSERT_EQ(cache.Pin(1, 0), Status::kOk);
+  EXPECT_TRUE(cache.IsPinned(1, 0));
+  EXPECT_EQ(cache.pinned_blocks(), 1u);
+
+  // A sweep all the way to zero must leave the pinned block in place.
+  EXPECT_EQ(cache.Shrink(0), 0u);
+  EXPECT_TRUE(cache.Resident(1, 0));
+  EXPECT_GT(cache.pin_blocked_evictions(), 0u);
+  // And a pinned hit costs no disk access.
+  const std::uint64_t reads = cache.disk_reads();
+  ASSERT_EQ(cache.Read(1, 0, *app_, &m), Status::kOk);
+  ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+  EXPECT_EQ(cache.disk_reads(), reads);
+
+  // Unpinned, the same sweep takes it.
+  ASSERT_EQ(cache.Unpin(1, 0), Status::kOk);
+  EXPECT_EQ(cache.Shrink(0), 1u);
+  EXPECT_FALSE(cache.Resident(1, 0));
+}
+
+TEST_F(FileCacheTest, PinRefcountsNest) {
+  FileCache cache(&world_.fsys, SmallConfig());
+  Message m;
+  ASSERT_EQ(cache.Read(2, 3, *app_, &m), Status::kOk);
+  ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+
+  ASSERT_EQ(cache.Pin(2, 3), Status::kOk);
+  ASSERT_EQ(cache.Pin(2, 3), Status::kOk);
+  EXPECT_EQ(cache.total_pins(), 2u);
+  EXPECT_EQ(cache.pinned_blocks(), 1u);  // two pins, one block
+  ASSERT_EQ(cache.Unpin(2, 3), Status::kOk);
+  EXPECT_TRUE(cache.IsPinned(2, 3));  // the second pin still holds it
+  ASSERT_EQ(cache.Unpin(2, 3), Status::kOk);
+  EXPECT_FALSE(cache.IsPinned(2, 3));
+  EXPECT_EQ(cache.total_pins(), 0u);
+  EXPECT_EQ(cache.pinned_blocks(), 0u);
+
+  // Unbalanced unpins and pins on absent blocks are caller bugs, reported.
+  EXPECT_EQ(cache.Unpin(2, 3), Status::kInvalidArgument);
+  EXPECT_EQ(cache.Pin(9, 9), Status::kNotFound);
+  EXPECT_EQ(cache.Unpin(9, 9), Status::kNotFound);
+}
+
+TEST_F(FileCacheTest, CapacityEvictionSkipsPinnedBlocks) {
+  FileCache cache(&world_.fsys, SmallConfig());  // capacity 4
+  auto touch = [&](std::uint64_t b) {
+    Message m;
+    ASSERT_EQ(cache.Read(1, b, *app_, &m), Status::kOk);
+    ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+  };
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    touch(b);
+  }
+  // Block 0 is the LRU victim-to-be; pin it and churn past capacity.
+  ASSERT_EQ(cache.Pin(1, 0), Status::kOk);
+  touch(4);
+  touch(5);
+  EXPECT_TRUE(cache.Resident(1, 0));  // survived despite being coldest
+  EXPECT_FALSE(cache.Resident(1, 1));  // the next-coldest paid instead
+  ASSERT_EQ(cache.Unpin(1, 0), Status::kOk);
+}
+
+TEST_F(FileCacheTest, WriteToPinnedBlockIsRefused) {
+  FileCache cache(&world_.fsys, SmallConfig());
+  Message m;
+  ASSERT_EQ(cache.Read(6, 0, *app_, &m), Status::kOk);
+  ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+  ASSERT_EQ(cache.Pin(6, 0), Status::kOk);
+
+  const PathId path = world_.fsys.paths().Register({app_->id(), kKernelDomainId});
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(world_.fsys.Allocate(*app_, path, 8192, true, &fb), Status::kOk);
+  ASSERT_EQ(app_->TouchRange(fb->base, 8192, Access::kWrite), Status::kOk);
+  // Readers hold the block mid-transfer: replacing it now would yank the
+  // frames out from under them. Busy, not silently replaced.
+  EXPECT_EQ(cache.Write(6, 0, *app_, Message::Whole(fb)), Status::kExhausted);
+  EXPECT_TRUE(cache.Resident(6, 0));
+
+  ASSERT_EQ(cache.Unpin(6, 0), Status::kOk);
+  EXPECT_EQ(cache.Write(6, 0, *app_, Message::Whole(fb)), Status::kOk);
+  ASSERT_EQ(world_.fsys.Free(fb, *app_), Status::kOk);
+}
+
+TEST_F(FileCacheTest, MissPropagatesAllocatorFailure) {
+  FileCache cache(&world_.fsys, SmallConfig());
+  Message m;
+  ASSERT_EQ(cache.Read(1, 0, *app_, &m), Status::kOk);
+  ASSERT_EQ(cache.Release(m, *app_), Status::kOk);
+
+  // Choke the cache's originator: the kernel may not carve another page.
+  world_.fsys.SetDomainQuota(kKernelDomainId,
+                             world_.fsys.DomainPagesInUse(kKernelDomainId));
+  Message m2;
+  const Status st = cache.Read(2, 0, *app_, &m2);
+  // The failure comes back as a Status — never papered over with a stale
+  // or zero-filled block.
+  EXPECT_EQ(st, Status::kQuotaExceeded);
+  EXPECT_FALSE(cache.Resident(2, 0));
+  // The cache itself is intact: the resident block still serves hits.
+  world_.fsys.SetDomainQuota(kKernelDomainId, 0);  // restore
+  ASSERT_EQ(cache.Read(1, 0, *app_, &m2), Status::kOk);
+  ASSERT_EQ(cache.Release(m2, *app_), Status::kOk);
+}
+
+TEST_F(FileCacheTest, DeadReaderGetsNothingAndTheBlockSurvives) {
+  FileCache cache(&world_.fsys, SmallConfig());
+  world_.machine.DestroyDomain(app2_->id());
+  Message m;
+  // The grant to the dead reader fails and rolls back...
+  EXPECT_EQ(cache.Read(4, 0, *app2_, &m), Status::kInvalidArgument);
+  // ...but the fetched block stays resident and readable by the living.
+  EXPECT_TRUE(cache.Resident(4, 0));
+  Message m2;
+  ASSERT_EQ(cache.Read(4, 0, *app_, &m2), Status::kOk);
+  std::uint8_t byte = 0;
+  ASSERT_EQ(m2.CopyOut(*app_, 0, &byte, 1), Status::kOk);
+  EXPECT_EQ(byte, static_cast<std::uint8_t>(4 * 37));
+  ASSERT_EQ(cache.Release(m2, *app_), Status::kOk);
+}
+
 TEST_F(FileCacheTest, DiskCostsAreCharged) {
   World w{MachineConfig{}};
   Domain* app = w.AddDomain("app");

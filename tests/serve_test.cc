@@ -1,0 +1,308 @@
+// Tests for the zero-copy file-serving subsystem: sendfile-style serves by
+// reference (pointer identity, zero bytes copied), the pin lifecycle tied
+// to the flow's dealloc notice, miss-path Status propagation, degraded
+// serving under memory pressure, and flow teardown when clients die.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/serve/serve_world.h"
+
+namespace fbufs {
+namespace {
+
+ServeWorldConfig OneClientConfig() {
+  ServeWorldConfig cfg;
+  cfg.clients = 1;
+  return cfg;
+}
+
+// One request-injection path per world: every path registration creates its
+// own allocator, and the memory-pressure tests below depend on request
+// fbufs being reused from one path's free list.
+PathId RequestPath(ServeWorld& w) {
+  return w.server().fsys.paths().Register({w.file_server().domain()->id()});
+}
+
+// Injects a request straight into the server's Pop from its own app domain
+// (no wire, no runner): the unit-level harness for pin/miss-path tests.
+Status PopRequest(ServeWorld& w, PathId path, const ServeRequest& req) {
+  SimHost& srv = w.server();
+  Domain* app = w.file_server().domain();
+  char buf[96];
+  const std::size_t n = EncodeRequest(req, buf, sizeof(buf));
+  EXPECT_GT(n, 0u);
+  Fbuf* fb = nullptr;
+  Status st = srv.fsys.Allocate(*app, path, n, /*want_volatile=*/true, &fb);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = app->WriteBytes(fb->base, buf, n);
+  if (Ok(st)) {
+    st = w.file_server().Pop(Message::Leaf(fb, 0, n));
+  }
+  srv.fsys.Free(fb, *app);
+  return st;
+}
+
+TEST(FileServerTest, CachedServeIsSendfileZeroCopy) {
+  ServeWorld w(OneClientConfig());
+  std::vector<ServeRequestSpec> sched;
+  sched.push_back(ServeRequestSpec{0, 0, /*file=*/1, /*blocks=*/1});
+  sched.push_back(ServeRequestSpec{kMillisecond, 0, 1, 1});
+  const ServeRunStats stats = w.Run(sched);
+
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.served_blocks, 2u);
+  EXPECT_EQ(stats.hit_blocks, 1u);  // the second serve finds block (1,0) hot
+  EXPECT_EQ(stats.degraded_blocks, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_ratio, 0.5);
+  EXPECT_EQ(stats.latencies.size(), 2u);
+
+  // The acceptance check: the fbuf that went out of the driver IS the cache
+  // block — file pages wired into the transmit path, never staged.
+  const Fbuf* tx = w.server().driver->last_tx_fbuf();
+  ASSERT_NE(tx, nullptr);
+  Domain* app = w.file_server().domain();
+  Message m;
+  ASSERT_EQ(w.cache().Read(1, 0, *app, &m), Status::kOk);
+  EXPECT_EQ(m.Fbufs()[0], tx);
+  ASSERT_EQ(w.cache().Release(m, *app), Status::kOk);
+  EXPECT_EQ(w.server().machine.stats().bytes_copied, 0u);
+
+  // Every flow's dealloc notice came back: nothing stays pinned.
+  EXPECT_EQ(w.cache().total_pins(), 0u);
+  EXPECT_EQ(w.file_server().inflight_requests(), 0u);
+  EXPECT_EQ(w.file_server().completed_requests(), 2u);
+  EXPECT_EQ(stats.delivered_bytes, 2 * w.config().cache.block_bytes);
+}
+
+TEST(FileServerTest, PinsProtectInFlightBlocksFromSweeps) {
+  ServeWorld w(OneClientConfig());
+  ServeRequest req;
+  req.id = 77;
+  req.file = 5;
+  req.blocks = 2;
+  const PathId rp = RequestPath(w);
+  ASSERT_EQ(PopRequest(w, rp, req), Status::kOk);
+
+  // Both served blocks stay pinned while the transfer is outstanding.
+  EXPECT_TRUE(w.cache().IsPinned(5, 0));
+  EXPECT_TRUE(w.cache().IsPinned(5, 1));
+  EXPECT_EQ(w.cache().total_pins(), 2u);
+  EXPECT_EQ(w.cache().pinned_blocks(), 2u);
+  EXPECT_EQ(w.file_server().inflight_requests(), 1u);
+
+  // A full pressure sweep cannot take them out from under the wire.
+  EXPECT_EQ(w.cache().Shrink(0), 0u);
+  EXPECT_TRUE(w.cache().Resident(5, 0));
+  EXPECT_TRUE(w.cache().Resident(5, 1));
+  EXPECT_GT(w.cache().pin_blocked_evictions(), 0u);
+
+  // The dealloc notice returns: pins drop and the sweep can have them.
+  ASSERT_EQ(w.file_server().CompleteRequest(77), Status::kOk);
+  EXPECT_EQ(w.cache().total_pins(), 0u);
+  EXPECT_EQ(w.file_server().inflight_requests(), 0u);
+  EXPECT_EQ(w.cache().Shrink(0), 2u);
+  // A second completion for the same flow is a stale notice.
+  EXPECT_EQ(w.file_server().CompleteRequest(77), Status::kNotFound);
+}
+
+// Pins down every free physical frame on the server machine, so any eager
+// allocation that needs a fresh frame fails with kNoMemory. Free-listed
+// fbufs (already materialized) remain reusable — exactly the regime a
+// pressured host is in.
+std::vector<Fbuf*> HogAllFrames(SimHost& srv, Domain* hog) {
+  const PathId path = srv.fsys.paths().Register({hog->id()});
+  std::vector<Fbuf*> held;
+  while (srv.machine.pmem().free_frames() > 0) {
+    Fbuf* fb = nullptr;
+    if (!Ok(srv.fsys.Allocate(*hog, path, kPageSize, /*want_volatile=*/true,
+                              &fb))) {
+      break;
+    }
+    held.push_back(fb);
+  }
+  return held;
+}
+
+TEST(FileServerTest, MissFailurePropagatesWithoutPressureManager) {
+  ServeWorld w(OneClientConfig());
+  SimHost& srv = w.server();
+  const PathId rp = RequestPath(w);
+  ServeRequest a;
+  a.id = 1;
+  a.file = 1;
+  a.blocks = 1;
+  ASSERT_EQ(PopRequest(w, rp, a), Status::kOk);
+
+  // Exhaust physical memory: the next miss cannot stage its block.
+  Domain* hog = srv.machine.CreateDomain("hog");
+  const std::vector<Fbuf*> hoard = HogAllFrames(srv, hog);
+  ASSERT_EQ(srv.machine.pmem().free_frames(), 0u);
+
+  ServeRequest b;
+  b.id = 2;
+  b.file = 2;
+  b.blocks = 1;
+  const Status st = PopRequest(w, rp, b);
+  // No PressureManager attached: the failure propagates as-is instead of
+  // being papered over with a silent copy.
+  EXPECT_FALSE(Ok(st));
+  EXPECT_TRUE(IsBackpressure(st));
+  EXPECT_EQ(w.file_server().aborted_requests(), 1u);
+  EXPECT_FALSE(w.cache().Resident(2, 0));
+  EXPECT_EQ(w.server().machine.stats().degraded_pdus, 0u);
+
+  // The failed request pinned nothing; the healthy flow's pin is intact.
+  EXPECT_EQ(w.cache().total_pins(), 1u);
+  ASSERT_EQ(w.file_server().CompleteRequest(1), Status::kOk);
+  EXPECT_EQ(w.cache().total_pins(), 0u);
+}
+
+TEST(FileServerTest, MissUnderPressureTakesTheDegradedCopyPath) {
+  ServeWorldConfig cfg = OneClientConfig();
+  cfg.attach_pressure = true;
+  // 4-page blocks: larger than anything the emergency sweep can scrape
+  // together from free lists once the only resident block is pinned.
+  cfg.cache.block_bytes = 4 * kPageSize;
+  cfg.host.pdu_size = 32 * 1024;
+  ServeWorld w(cfg);
+  SimHost& srv = w.server();
+
+  const PathId rp = RequestPath(w);
+  ServeRequest a;
+  a.id = 1;
+  a.file = 1;
+  a.blocks = 1;
+  ASSERT_EQ(PopRequest(w, rp, a), Status::kOk);
+  EXPECT_EQ(srv.machine.stats().bytes_copied, 0u);
+
+  // Exhaust physical memory. Block (1,0) is pinned by the in-flight serve,
+  // so the sweep cannot evict it, and the hoard is live — the miss truly
+  // backpressures.
+  Domain* hog = srv.machine.CreateDomain("hog");
+  const std::vector<Fbuf*> hoard = HogAllFrames(srv, hog);
+  ASSERT_EQ(srv.machine.pmem().free_frames(), 0u);
+
+  ServeRequest b;
+  b.id = 2;
+  b.file = 2;
+  b.blocks = 1;
+  ASSERT_EQ(PopRequest(w, rp, b), Status::kOk);  // served anyway — degraded
+  EXPECT_EQ(w.file_server().degraded_blocks(), 1u);
+  EXPECT_EQ(w.file_server().hit_blocks(), 0u);
+  EXPECT_EQ(srv.machine.stats().bytes_copied, w.config().cache.block_bytes);
+  EXPECT_EQ(srv.machine.stats().degraded_pdus, 1u);
+  // The degraded block never entered (or pinned anything in) the cache,
+  // and the pinned block rode out the emergency sweep.
+  EXPECT_FALSE(w.cache().Resident(2, 0));
+  EXPECT_TRUE(w.cache().Resident(1, 0));
+  EXPECT_EQ(w.cache().total_pins(), 1u);
+
+  ASSERT_EQ(w.file_server().CompleteRequest(1), Status::kOk);
+  ASSERT_EQ(w.file_server().CompleteRequest(2), Status::kOk);
+  EXPECT_EQ(w.cache().total_pins(), 0u);
+}
+
+TEST(FileServerTest, MalformedRequestIsRejected) {
+  ServeWorld w(OneClientConfig());
+  SimHost& srv = w.server();
+  Domain* app = w.file_server().domain();
+  const PathId path = srv.fsys.paths().Register({app->id()});
+  const char junk[] = "BREW /coffee HTCPCP/1.0\n";
+  Fbuf* fb = nullptr;
+  ASSERT_EQ(srv.fsys.Allocate(*app, path, sizeof(junk), true, &fb),
+            Status::kOk);
+  ASSERT_EQ(app->WriteBytes(fb->base, junk, sizeof(junk)), Status::kOk);
+  EXPECT_EQ(w.file_server().Pop(Message::Leaf(fb, 0, sizeof(junk))),
+            Status::kInvalidArgument);
+  ASSERT_EQ(srv.fsys.Free(fb, *app), Status::kOk);
+  EXPECT_EQ(w.file_server().parse_errors(), 1u);
+  EXPECT_EQ(w.file_server().requests(), 0u);
+  EXPECT_EQ(w.cache().total_pins(), 0u);
+}
+
+TEST(ServeWorldTest, DeadClientAbortsTheFlowAndReleasesPins) {
+  ServeWorld w(OneClientConfig());
+  SimHost& c = w.client(0);
+  c.machine.DestroyDomain(c.sink->domain()->id());
+
+  std::vector<ServeRequestSpec> sched;
+  sched.push_back(ServeRequestSpec{0, 0, /*file=*/3, /*blocks=*/2});
+  const ServeRunStats stats = w.Run(sched);
+
+  // The serve itself succeeded (blocks pinned, PDUs staged) but delivery
+  // into the dead app domain hard-failed: the flow aborts, and the abort
+  // notice gives every pin back.
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_GE(w.file_server().aborted_requests(), 1u);
+  EXPECT_EQ(w.file_server().inflight_requests(), 0u);
+  EXPECT_EQ(w.cache().total_pins(), 0u);
+  EXPECT_EQ(stats.delivered_bytes, 0u);
+}
+
+TEST(ServeWorldTest, FanInManyFlowsDrainsCleanly) {
+  ServeWorldConfig cfg;
+  cfg.clients = 4;
+  cfg.max_inflight = 8;  // force the overflow queue to carry arrivals
+  ServeWorld w(cfg);
+
+  std::vector<ServeRequestSpec> sched;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    ServeRequestSpec s;
+    s.at = static_cast<SimTime>(i) * 50 * kMicrosecond;
+    s.client = i % 4;
+    s.file = (i * 7) % 5;
+    s.blocks = 1 + (i % 3);
+    sched.push_back(s);
+  }
+  const ServeRunStats stats = w.Run(sched);
+
+  EXPECT_EQ(stats.requests, 40u);
+  EXPECT_EQ(stats.completed, 40u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.latencies.size(), 40u);
+  EXPECT_GT(stats.hit_blocks, 0u);  // five files, forty requests: reuse
+  EXPECT_EQ(stats.delivered_bytes,
+            stats.served_blocks * w.config().cache.block_bytes);
+  EXPECT_GT(stats.goodput_mbps, 0.0);
+  EXPECT_EQ(w.server().machine.stats().bytes_copied, 0u);
+  EXPECT_EQ(w.cache().total_pins(), 0u);
+  EXPECT_EQ(w.file_server().inflight_requests(), 0u);
+  EXPECT_EQ(w.file_server().completed_requests(), 40u);
+}
+
+TEST(ServeWorldTest, RingTransportCarriesTheSameWorkload) {
+  ServeWorldConfig cfg;
+  cfg.clients = 2;
+  cfg.use_rings = true;
+  ServeWorld w(cfg);
+
+  std::vector<ServeRequestSpec> sched;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ServeRequestSpec s;
+    s.at = static_cast<SimTime>(i) * 100 * kMicrosecond;
+    s.client = i % 2;
+    s.file = i % 3;
+    s.blocks = 1;
+    sched.push_back(s);
+  }
+  const ServeRunStats stats = w.Run(sched);
+
+  EXPECT_EQ(stats.requests, 8u);
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(w.server().stack->ring_errors(), 0u);
+  EXPECT_EQ(w.server().machine.stats().bytes_copied, 0u);
+  EXPECT_EQ(w.cache().total_pins(), 0u);
+  EXPECT_EQ(w.file_server().inflight_requests(), 0u);
+}
+
+}  // namespace
+}  // namespace fbufs
