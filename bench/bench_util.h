@@ -328,6 +328,13 @@ struct AttributionJsonOptions {
   // BENCH_*.json files never move.
   const std::map<AttrPathId, SimTime>* per_path_dispatch_wait = nullptr;
   const std::map<AttrPathId, SimTime>* per_path_ring_occupancy = nullptr;
+  // When non-null, emit "by_flow": attributed ns per named flow, where a
+  // flow claims a set of path ids (the incast bench: one conversation's
+  // header + data paths). Attribution cells already carry the path id, so
+  // this is a pure regrouping of by_path — charges on paths no flow claims
+  // are reported under "none". Emitted in the given flow order.
+  const std::vector<std::pair<std::string, std::vector<AttrPathId>>>* flows =
+      nullptr;
 };
 
 // Renders a machine's time-attribution state as a JSON object for a
@@ -423,6 +430,40 @@ inline std::string TimeAttributionJson(Machine& m,
         out += std::to_string(ns);
       }
       first = false;
+    }
+    out += "}";
+  }
+  if (opts.flows != nullptr) {
+    // Regroup the path-keyed cells by flow. Paths claimed by two flows are
+    // double-charged — callers own disjointness; the "none" residue keeps
+    // the section's total equal to attributed_ns when claims are disjoint.
+    std::map<AttrPathId, std::size_t> owner;
+    for (std::size_t i = 0; i < opts.flows->size(); ++i) {
+      for (const AttrPathId p : (*opts.flows)[i].second) {
+        owner.emplace(p, i);
+      }
+    }
+    std::vector<SimTime> per_flow(opts.flows->size(), 0);
+    SimTime unclaimed = 0;
+    for (const auto& [key, ns] : attr.cells()) {
+      auto it = owner.find(key.path);
+      if (it == owner.end()) {
+        unclaimed += ns;
+      } else {
+        per_flow[it->second] += ns;
+      }
+    }
+    out += ",\n    \"by_flow\": {";
+    first = true;
+    for (std::size_t i = 0; i < opts.flows->size(); ++i) {
+      out += first ? "" : ", ";
+      out += "\"" + (*opts.flows)[i].first +
+             "\": " + std::to_string(per_flow[i]);
+      first = false;
+    }
+    if (unclaimed != 0) {
+      out += first ? "" : ", ";
+      out += "\"none\": " + std::to_string(unclaimed);
     }
     out += "}";
   }

@@ -1,7 +1,7 @@
 // Fault-injection campaign driver: scripted failures against live worlds,
 // with §3.3 cleanup rules audited under fire.
 //
-// Six named campaigns, each writing CAMPAIGN_<name>.json:
+// Seven named campaigns, each writing CAMPAIGN_<name>.json:
 //
 //   loss_burst           — two senders fan in through one switch port; a 30%
 //                          loss burst hits one uplink, the trunk flaps dark,
@@ -32,6 +32,16 @@
 //                          dead client's flows fail, every other client
 //                          drains, and the post-churn audit shows zero
 //                          leaked frames with every cache pin released.
+//   congestion_collapse  — sixteen fixed-window flows incast through the
+//                          rack fabric; the core downlink queue is squeezed
+//                          to four PDUs, a loss burst hits one ingress
+//                          wire, and one sender's domain is destroyed
+//                          mid-retransmit with its window pinned in the
+//                          ledger. Survivors drain through the storm; the
+//                          victim's ledger reclaims, its receiver-side
+//                          conversation shuts down with no stranded stash,
+//                          and every audit (host §3.3 plus per-conversation
+//                          window/ledger) is clean.
 //
 // Everything is deterministic: same seed and schedule produce byte-identical
 // JSON. --smoke scales message counts and fault times down for CI.
@@ -42,6 +52,7 @@
 #include <vector>
 
 #include "src/fault/campaign.h"
+#include "src/fault/incast_world.h"
 #include "src/fault/swp_world.h"
 #include "src/obs/trace_export.h"
 #include "src/serve/serve_world.h"
@@ -528,6 +539,116 @@ CampaignReport RunServerChurn() {
   return rep;
 }
 
+// --- Campaign 7: incast storm with a queue squeeze, loss burst, and axe ------
+
+CampaignReport RunCongestionCollapse() {
+  IncastWorldConfig wc;
+  wc.kind = TransportKind::kFixedWindow;
+  wc.racks = 2;
+  // 16 flows x window 8 = 4x the core queue — past the incast bench's knee,
+  // where the aggregate offered load (CPU-paced) genuinely exceeds the core
+  // line rate and the queue stays saturated. Half that fan-in sits at the
+  // margin where ack clocking keeps the queue near-empty and no fault can
+  // raise a storm.
+  wc.senders_per_rack = 8;
+  IncastWorld w(wc);
+  ArmHostTrace(w.machine);
+  for (std::uint32_t r = 0; r < wc.racks; ++r) {
+    w.topo.switch_at(w.tor_node(r))->port_resource(0).set_record_intervals(true);
+  }
+  w.topo.switch_at(w.core_node())->port_resource(0).set_record_intervals(true);
+
+  CampaignRunner cr("congestion_collapse", wc.seed, &w.loop);
+  cr.AttachTopology(&w.topo, nullptr);
+  cr.AddAuditedHost(w.machine.name(), &w.machine, &w.fsys);
+  for (std::size_t i = 0; i < w.flow_count(); ++i) {
+    IncastWorld::Flow& f = w.flow(i);
+    cr.AddConversation("flow" + std::to_string(i), f.sender.get(),
+                       f.receiver.get(), f.sink.get(), &w.machine);
+  }
+
+  constexpr std::size_t kVictim = 5;
+  FaultSchedule s;
+  s.name = "congestion_collapse";
+  // Deepen the storm: the core downlink queue clamps to 4 PDUs for a while,
+  // turning the steady overload into a drop frenzy.
+  s.Add({.kind = FaultAction::Kind::kSqueezeSwitchQueue,
+         .at = At(80),
+         .duration = At(120),
+         .node = w.core_node(),
+         .port = 0,
+         .queue_pdus = 4,
+         .label = "squeeze-core4"});
+  // A 30% loss burst on one sender's own ingress wire: that flow now loses
+  // frames both at the wire and in the shared queues.
+  s.Add({.kind = FaultAction::Kind::kLossBurst,
+         .at = At(250),
+         .duration = At(80),
+         .link = w.flow(2).ingress,
+         .percent = 30,
+         .label = "ingress-loss30/flow2"});
+  // The axe: one sender dies mid-retransmit, its whole window pinned in the
+  // ledger. kNoNode routes MachineFor to the conversations' shared host.
+  s.Add({.kind = FaultAction::Kind::kTerminateDomain,
+         .at = At(400),
+         .domain = "sender" + std::to_string(kVictim),
+         .label = "terminate/sender5"});
+  cr.Arm(s);
+  cr.ScheduleAudit(At(150), "mid-squeeze");
+  cr.ScheduleAudit(At(410), "post-terminate");
+
+  // Producer teardown brackets the axe: stop feeding the victim just before
+  // (a producer outliving its domain would be a use-after-free, not a
+  // fault), and close the receiver half just after — its stashed
+  // out-of-order frames hold references a dead peer can never complete, and
+  // only an explicit shutdown releases them (§3.3 cleanup only runs for the
+  // domain that died).
+  w.loop.Schedule(At(399), "stop-victim-producer",
+                  [&w] { w.StopProducer(kVictim); });
+  w.loop.Schedule(At(401), "shutdown-victim-receiver",
+                  [&w] { w.flow(kVictim).receiver->Shutdown(); });
+
+  // Enough traffic that every window stays refilled across the whole fault
+  // timeline — a storm needs sustained offered load, not one opening burst.
+  const int messages = static_cast<int>(64 / g_scale);
+  w.StartProducers(messages, 8 * kPageSize);
+  w.loop.Run();
+
+  // Survivors drain fully; the victim ends clean rather than complete.
+  bool survivors_drained = true;
+  for (std::size_t i = 0; i < w.flow_count(); ++i) {
+    const IncastWorld::Flow& f = w.flow(i);
+    if (i == kVictim) {
+      continue;
+    }
+    survivors_drained = survivors_drained && f.accepted == messages &&
+                        !f.backoff.stalled && !f.failed;
+  }
+  const IncastWorld::Flow& victim = w.flow(kVictim);
+  const bool victim_clean = victim.ledger->pinned_pdus() == 0 &&
+                            victim.receiver->stashed() == 0 &&
+                            victim.sender->aborted();
+  const bool storm = w.switch_drops() > 0 && w.total_retransmissions() > 0;
+  const bool ok = survivors_drained && victim_clean && storm;
+  cr.SetOutcome(
+      ok, ok ? "survivors drained through the storm (" +
+                   std::to_string(w.switch_drops()) + " drops, " +
+                   std::to_string(w.total_retransmissions()) +
+                   " retransmissions); the axed sender's ledger reclaimed and "
+                   "its receiver shut down with nothing stranded"
+             : "expected storm + clean victim teardown + survivor drain");
+  CampaignReport rep = cr.Finish();
+
+  TraceExporter ex;
+  ex.AddHost(w.machine.name(), 1, w.machine.trace());
+  for (std::uint32_t r = 0; r < wc.racks; ++r) {
+    ex.AddResource(w.topo.switch_at(w.tor_node(r))->port_resource(0));
+  }
+  ex.AddResource(w.topo.switch_at(w.core_node())->port_resource(0));
+  WriteTrace("congestion_collapse", ex);
+  return rep;
+}
+
 int Main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -539,8 +660,9 @@ int Main(int argc, char** argv) {
 
   bool all_passed = true;
   const std::vector<CampaignReport> reports = {
-      RunLossBurst(),           RunAckOnlyLoss(), RunRtoSweep(),
-      RunTerminateOriginator(), RunHoarder(),     RunServerChurn()};
+      RunLossBurst(),   RunAckOnlyLoss(),   RunRtoSweep(),
+      RunTerminateOriginator(), RunHoarder(), RunServerChurn(),
+      RunCongestionCollapse()};
   for (const CampaignReport& r : reports) {
     PrintReport(r);
     r.Write();

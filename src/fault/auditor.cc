@@ -50,16 +50,28 @@ HostAuditResult InvariantAuditor::AuditHost(const std::string& name, Machine& m,
   return r;
 }
 
-SwpAuditResult InvariantAuditor::AuditSwp(const SwpProtocol& sender,
-                                          const SwpProtocol& receiver,
+SwpAuditResult InvariantAuditor::AuditSwp(const Transport& sender,
+                                          const Transport& receiver,
                                           Machine& m) {
   SwpAuditResult r;
   r.unacked = sender.unacked();
-  r.window_wedged = r.unacked > 0;
+  r.window_wedged = r.unacked > 0 && !sender.aborted();
   r.stashed = receiver.stashed();
   r.bytes_copied = m.stats().bytes_copied;
-  r.passed = !r.window_wedged && r.stashed == 0 && r.bytes_copied == 0;
+  if (const RetransmitLedger* ledger = sender.ledger()) {
+    r.ledger_pinned = ledger->pinned_pdus();
+    const std::uint64_t unacked = sender.unacked();
+    r.ledger_mismatch = r.ledger_pinned > unacked ? r.ledger_pinned - unacked
+                                                  : unacked - r.ledger_pinned;
+  }
+  r.passed = !r.window_wedged && r.stashed == 0 && r.bytes_copied == 0 &&
+             r.ledger_pinned == 0 && r.ledger_mismatch == 0;
   return r;
+}
+
+bool InvariantAuditor::LedgerConsistent(const Transport& sender) {
+  const RetransmitLedger* ledger = sender.ledger();
+  return ledger == nullptr || ledger->pinned_pdus() == sender.unacked();
 }
 
 }  // namespace fbufs

@@ -10,13 +10,16 @@
 //   * free lists consistent (every slot live, marked, right size class, on
 //     a live allocator) and never caching a dead originator's fbufs.
 //
-// Protocol-level invariants (SWP, checked at quiescence only — an open
-// window mid-flow is normal):
+// Protocol-level invariants (any Transport, checked at quiescence only — an
+// open window mid-flow is normal):
 //   * the send window is not wedged (nothing unacknowledged once the loop
 //     went quiescent);
 //   * the receiver stash drained (no out-of-order frame waiting forever);
 //   * zero bytes copied — retransmission works from retained immutable
-//     fbuf references (§2.1.3), loss or no loss.
+//     fbuf references (§2.1.3), loss or no loss;
+//   * when a retransmit ledger is attached, pinned PDUs always equal the
+//     sender's unacked window (mid-flow too — the equality is an invariant,
+//     not a quiescence property) and the ledger drained at quiescence.
 #ifndef SRC_FAULT_AUDITOR_H_
 #define SRC_FAULT_AUDITOR_H_
 
@@ -47,6 +50,9 @@ struct SwpAuditResult {
   std::uint32_t unacked = 0;
   std::uint64_t stashed = 0;
   std::uint64_t bytes_copied = 0;
+  // Ledger invariants (zero when no ledger is attached):
+  std::uint64_t ledger_pinned = 0;    // PDUs still pinned at audit time
+  std::uint64_t ledger_mismatch = 0;  // |pinned PDUs - unacked window|
   bool passed = false;
 };
 
@@ -57,10 +63,16 @@ class InvariantAuditor {
   static HostAuditResult AuditHost(const std::string& name, Machine& m,
                                    const FbufSystem& fsys);
 
-  // Quiescence-only: |sender| and |receiver| are the two SWP peers of one
-  // conversation sharing |m|.
-  static SwpAuditResult AuditSwp(const SwpProtocol& sender,
-                                 const SwpProtocol& receiver, Machine& m);
+  // Quiescence-only: |sender| and |receiver| are the transport peers of one
+  // conversation sharing |m|. An aborted sender (domain terminated mid-
+  // retransmit) passes with an empty, reclaimed ledger — wedged is a live
+  // flow that stopped, not a dead one that was cleaned up.
+  static SwpAuditResult AuditSwp(const Transport& sender,
+                                 const Transport& receiver, Machine& m);
+
+  // Mid-flow ledger invariant: pinned PDUs == the sender's unacked window.
+  // Call any time, quiescent or not.
+  static bool LedgerConsistent(const Transport& sender);
 };
 
 }  // namespace fbufs

@@ -43,14 +43,20 @@ void CampaignRunner::MarkPhase(const std::string& label) {
   for (const AuditedHost& h : audited_) {
     seen.push_back(h.machine);
   }
-  if (swp_machine_ != nullptr) {
-    bool dup = false;
-    for (Machine* m : seen) {
-      dup = dup || m == swp_machine_;
+  auto add_unique = [&seen](Machine* m) {
+    if (m == nullptr) {
+      return;
     }
-    if (!dup) {
-      seen.push_back(swp_machine_);
+    for (Machine* s : seen) {
+      if (s == m) {
+        return;
+      }
     }
+    seen.push_back(m);
+  };
+  add_unique(swp_machine_);
+  for (const Conversation& c : conversations_) {
+    add_unique(c.machine);
   }
   for (Machine* m : seen) {
     Trace& t = m->trace();
@@ -91,6 +97,14 @@ void CampaignRunner::TakeSample(const std::string& label) {
   if (swp_sender_ != nullptr) {
     s.retransmissions += swp_sender_->retransmissions();
   }
+  for (const Conversation& c : conversations_) {
+    if (c.sink != nullptr) {
+      s.delivered += c.sink->bytes_received();
+    }
+    if (c.sender != nullptr) {
+      s.retransmissions += c.sender->retransmissions();
+    }
+  }
   samples_.push_back(std::move(s));
 }
 
@@ -99,7 +113,10 @@ Machine* CampaignRunner::MachineFor(const FaultAction& a) {
     SimHost* h = topo_->host(a.node);
     return h != nullptr ? &h->machine : nullptr;
   }
-  return swp_machine_;
+  if (swp_machine_ != nullptr) {
+    return swp_machine_;
+  }
+  return conversations_.empty() ? nullptr : conversations_.front().machine;
 }
 
 void CampaignRunner::Apply(const FaultAction& a) {
@@ -189,7 +206,8 @@ void CampaignRunner::RunAudit(const std::string& label, bool include_swp) {
   CampaignReport::AuditEntry e;
   e.label = label;
   e.at_ns = loop_->Now();
-  bool passed = !audited_.empty() || (include_swp && swp_sender_ != nullptr);
+  bool passed = !audited_.empty() || (include_swp && swp_sender_ != nullptr) ||
+                (include_swp && !conversations_.empty());
   for (const AuditedHost& h : audited_) {
     e.hosts.push_back(InvariantAuditor::AuditHost(h.label, *h.machine, *h.fsys));
     passed = passed && e.hosts.back().passed;
@@ -199,6 +217,13 @@ void CampaignRunner::RunAudit(const std::string& label, bool include_swp) {
                                        *swp_machine_);
     e.has_swp = true;
     passed = passed && e.swp.passed;
+  }
+  if (include_swp) {
+    for (const Conversation& c : conversations_) {
+      e.conversations.emplace_back(
+          c.label, InvariantAuditor::AuditSwp(*c.sender, *c.receiver, *c.machine));
+      passed = passed && e.conversations.back().second.passed;
+    }
   }
   e.passed = passed;
   report_.AddAudit(std::move(e));

@@ -11,12 +11,15 @@
 // checks the SWP conversation when one is attached (quiescence is the only
 // time a clean window is required).
 //
-// Two world flavors are supported, matching the two campaign styles:
+// Three world flavors are supported, matching the campaign styles:
 //   * AttachTopology: faults address links/switches/hosts of a Topology and
 //     goodput is read from the TopologyRunner's flow sinks;
 //   * AttachSwp: a two-peer SWP conversation over LossyChannels —
 //     kAckPathOnlyLoss lives here, because only SWP has the retransmission
-//     machinery that makes pure ack loss recoverable.
+//     machinery that makes pure ack loss recoverable;
+//   * AddConversation (repeatable): many transport conversations over one
+//     fabric — the incast/congestion campaigns, where the final audit also
+//     checks every sender's pinned-retransmit ledger.
 #ifndef SRC_FAULT_CAMPAIGN_H_
 #define SRC_FAULT_CAMPAIGN_H_
 
@@ -47,7 +50,7 @@ class CampaignRunner {
     runner_ = runner;
   }
 
-  void AttachSwp(SwpProtocol* sender, SwpProtocol* receiver,
+  void AttachSwp(Transport* sender, Transport* receiver,
                  LossyChannel* data_channel, LossyChannel* ack_channel,
                  SinkProtocol* sink, Machine* machine) {
     swp_sender_ = sender;
@@ -56,6 +59,16 @@ class CampaignRunner {
     ack_channel_ = ack_channel;
     swp_sink_ = sink;
     swp_machine_ = machine;
+  }
+
+  // Multi-flow campaigns (incast worlds): each conversation is one
+  // sender/receiver transport pair with its own sink. Samples sum their
+  // goodput and retransmissions; the final audit checks every conversation's
+  // window, stash, and pinned-retransmit ledger.
+  void AddConversation(const std::string& label, Transport* sender,
+                       Transport* receiver, SinkProtocol* sink,
+                       Machine* machine) {
+    conversations_.push_back(Conversation{label, sender, receiver, sink, machine});
   }
 
   // Includes |machine| in every audit. |fsys| must be the machine's fbuf
@@ -90,6 +103,14 @@ class CampaignRunner {
     FbufSystem* fsys = nullptr;
   };
 
+  struct Conversation {
+    std::string label;
+    Transport* sender = nullptr;
+    Transport* receiver = nullptr;
+    SinkProtocol* sink = nullptr;
+    Machine* machine = nullptr;
+  };
+
   struct Sample {
     SimTime at = 0;
     std::string label;
@@ -113,13 +134,14 @@ class CampaignRunner {
   Topology* topo_ = nullptr;
   TopologyRunner* runner_ = nullptr;
 
-  SwpProtocol* swp_sender_ = nullptr;
-  SwpProtocol* swp_receiver_ = nullptr;
+  Transport* swp_sender_ = nullptr;
+  Transport* swp_receiver_ = nullptr;
   LossyChannel* data_channel_ = nullptr;
   LossyChannel* ack_channel_ = nullptr;
   SinkProtocol* swp_sink_ = nullptr;
   Machine* swp_machine_ = nullptr;
 
+  std::vector<Conversation> conversations_;
   std::vector<AuditedHost> audited_;
   std::vector<Sample> samples_;
   bool finished_ = false;

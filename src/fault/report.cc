@@ -102,6 +102,22 @@ std::string CampaignReport::ToJson() const {
          << ", \"bytes_copied\": " << Num(a.swp.bytes_copied)
          << ", \"passed\": " << Bool(a.swp.passed) << "}";
     }
+    if (!a.conversations.empty()) {
+      os << ",\n     \"conversations\": [\n";
+      for (std::size_t c = 0; c < a.conversations.size(); ++c) {
+        const SwpAuditResult& cr = a.conversations[c].second;
+        os << "       {\"flow\": \"" << a.conversations[c].first
+           << "\", \"window_wedged\": " << Bool(cr.window_wedged)
+           << ", \"unacked\": " << cr.unacked
+           << ", \"stashed\": " << Num(cr.stashed)
+           << ", \"bytes_copied\": " << Num(cr.bytes_copied)
+           << ", \"ledger_pinned\": " << Num(cr.ledger_pinned)
+           << ", \"ledger_mismatch\": " << Num(cr.ledger_mismatch)
+           << ", \"passed\": " << Bool(cr.passed) << "}"
+           << (c + 1 < a.conversations.size() ? "," : "") << "\n";
+      }
+      os << "     ]";
+    }
     os << "}" << (i + 1 < audits_.size() ? "," : "") << "\n";
   }
   os << "  ],\n";

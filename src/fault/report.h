@@ -45,6 +45,8 @@ class CampaignReport {
     std::vector<HostAuditResult> hosts;
     bool has_swp = false;
     SwpAuditResult swp;
+    // Multi-conversation campaigns: one audit per conversation, labelled.
+    std::vector<std::pair<std::string, SwpAuditResult>> conversations;
     bool passed = false;
   };
 

@@ -843,52 +843,57 @@ void FbufSystem::OnDomainTerminated(Domain& d) {
   }
 }
 
+std::uint64_t FbufSystem::PageOutFbuf(Fbuf* fb, std::uint64_t max_pages) {
+  if (fb == nullptr || fb->dead || fb->free_listed) {
+    return 0;  // free-listed memory is discarded, not paged (§3.3)
+  }
+  Domain* orig = machine_->domain(fb->originator);
+  if (orig == nullptr || !orig->alive()) {
+    return 0;
+  }
+  std::uint64_t swapped = 0;
+  for (std::uint64_t i = 0; i < fb->pages && swapped < max_pages; ++i) {
+    const Vpn vpn = PageOf(fb->base) + i;
+    VmEntry* oe = orig->FindEntry(vpn);
+    if (oe == nullptr || oe->frame == kInvalidFrame) {
+      continue;
+    }
+    // Write the contents to the backing store (asynchronous write-behind:
+    // no foreground time), then break every mapping of the frame.
+    const std::uint8_t* data = machine_->pmem().Data(oe->frame);
+    swap_[{fb->id, i}].assign(data, data + kPageSize);
+    for (DomainId rid : fb->mapped) {
+      Domain* r = machine_->domain(rid);
+      if (r == nullptr || !r->alive()) {
+        continue;
+      }
+      VmEntry* re = r->FindEntry(vpn);
+      if (re != nullptr && re->frame != kInvalidFrame) {
+        machine_->pmem().Unref(re->frame);
+        re->frame = kInvalidFrame;
+        re->pmap_valid = false;
+        r->pmap().Remove(vpn);
+        r->tlb().InvalidatePage(vpn);
+      }
+    }
+    machine_->pmem().Unref(oe->frame);
+    oe->frame = kInvalidFrame;
+    oe->pmap_valid = false;
+    orig->pmap().Remove(vpn);
+    orig->tlb().InvalidatePage(vpn);
+    machine_->stats().pages_swapped_out++;
+    swapped++;
+  }
+  return swapped;
+}
+
 std::uint64_t FbufSystem::PageOutInUse(std::uint64_t max_pages) {
   std::uint64_t swapped = 0;
   for (auto& fbp : fbufs_) {
-    Fbuf* fb = fbp.get();
-    if (fb->dead || fb->free_listed) {
-      continue;  // free-listed memory is discarded, not paged (§3.3)
-    }
-    Domain* orig = machine_->domain(fb->originator);
-    if (orig == nullptr || !orig->alive()) {
-      continue;
-    }
-    for (std::uint64_t i = 0; i < fb->pages && swapped < max_pages; ++i) {
-      const Vpn vpn = PageOf(fb->base) + i;
-      VmEntry* oe = orig->FindEntry(vpn);
-      if (oe == nullptr || oe->frame == kInvalidFrame) {
-        continue;
-      }
-      // Write the contents to the backing store (asynchronous write-behind:
-      // no foreground time), then break every mapping of the frame.
-      const std::uint8_t* data = machine_->pmem().Data(oe->frame);
-      swap_[{fb->id, i}].assign(data, data + kPageSize);
-      for (DomainId rid : fb->mapped) {
-        Domain* r = machine_->domain(rid);
-        if (r == nullptr || !r->alive()) {
-          continue;
-        }
-        VmEntry* re = r->FindEntry(vpn);
-        if (re != nullptr && re->frame != kInvalidFrame) {
-          machine_->pmem().Unref(re->frame);
-          re->frame = kInvalidFrame;
-          re->pmap_valid = false;
-          r->pmap().Remove(vpn);
-          r->tlb().InvalidatePage(vpn);
-        }
-      }
-      machine_->pmem().Unref(oe->frame);
-      oe->frame = kInvalidFrame;
-      oe->pmap_valid = false;
-      orig->pmap().Remove(vpn);
-      orig->tlb().InvalidatePage(vpn);
-      machine_->stats().pages_swapped_out++;
-      swapped++;
-    }
     if (swapped >= max_pages) {
       break;
     }
+    swapped += PageOutFbuf(fbp.get(), max_pages - swapped);
   }
   return swapped;
 }

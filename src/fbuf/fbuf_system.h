@@ -189,6 +189,12 @@ class FbufSystem {
   // (page_in_ns). Returns pages swapped out.
   std::uint64_t PageOutInUse(std::uint64_t max_pages = ~std::uint64_t{0});
 
+  // Pages out one specific in-use fbuf (the PressureManager's targeted
+  // pageout stage: cold retransmit-pinned fbufs go first, rather than
+  // whatever PageOutInUse's scan order happens to visit). Same mechanics as
+  // PageOutInUse; returns pages swapped out.
+  std::uint64_t PageOutFbuf(Fbuf* fb, std::uint64_t max_pages = ~std::uint64_t{0});
+
   std::uint64_t SwapResidentPages() const { return swap_.size(); }
 
   // Destroys the free-listed fbufs of cached allocators that have not served

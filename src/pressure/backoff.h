@@ -23,10 +23,13 @@ namespace fbufs {
 
 // Statuses that mean "the resource may free up — parking is productive", as
 // opposed to hard errors (dead domain, protection violation) where retrying
-// can never succeed.
+// can never succeed. Congestion and spent credits are backpressure too: the
+// window reopens on the next ack and credits on the next grant, so a parked
+// producer will make progress without any operator intervention.
 inline bool IsBackpressure(Status st) {
   return st == Status::kExhausted || st == Status::kNoMemory ||
-         st == Status::kQuotaExceeded || st == Status::kNoVirtualSpace;
+         st == Status::kQuotaExceeded || st == Status::kNoVirtualSpace ||
+         st == Status::kCongestion || st == Status::kCreditExhausted;
 }
 
 // Capped exponential backoff: attempt 0 waits |initial|, each further

@@ -86,7 +86,15 @@ std::uint64_t PressureManager::Sweep(std::uint64_t target_free) {
     fsys_->ReclaimFreeMemory(target_free - FreeFrames());
   }
 
-  // Stage 3 — destroy the free lists of idle cached paths, releasing region
+  // Stage 3 — page out cold retransmit-pinned fbufs to backing store.
+  // Their contents must survive for the retransmission (copy semantics:
+  // the transport's reference is a promise the data stays intact), so they
+  // are paged, never discarded; the eventual retransmit faults them back in.
+  if (FreeFrames() < target_free && !ledgers_.empty()) {
+    PageOutColdPinned(target_free);
+  }
+
+  // Stage 4 — destroy the free lists of idle cached paths, releasing region
   // space and chunk quota (the most expensive: those paths restart cold).
   if (FreeFrames() < target_free) {
     fsys_->ShrinkIdlePaths(config_.path_idle_ns);
@@ -98,6 +106,21 @@ std::uint64_t PressureManager::Sweep(std::uint64_t target_free) {
   stats.pressure_pages_reclaimed += freed;
   pages_reclaimed_ += freed;
   return freed;
+}
+
+void PressureManager::PageOutColdPinned(std::uint64_t target_free) {
+  const SimTime now = fsys_->machine().clock().Now();
+  for (const RetransmitLedger* ledger : ledgers_) {
+    if (FreeFrames() >= target_free) {
+      return;
+    }
+    ledger->ForEachCold(now, config_.pageout_min_age_ns, [&](Fbuf* fb) {
+      if (FreeFrames() >= target_free) {
+        return;  // target met; later entries stay resident
+      }
+      pages_paged_out_ += fsys_->PageOutFbuf(fb);
+    });
+  }
 }
 
 bool PressureManager::AnyPathDegraded() {
@@ -134,6 +157,29 @@ PathMode PressureManager::RecordAllocFailure(PathId path) {
     degradations_++;
   }
   return s.mode;
+}
+
+std::uint32_t PressureManager::CreditFor(std::uint64_t pdu_pages,
+                                         std::uint32_t flows,
+                                         std::uint32_t max_credit) const {
+  if (pdu_pages == 0) {
+    pdu_pages = 1;
+  }
+  if (flows == 0) {
+    flows = 1;
+  }
+  const std::uint64_t free = FreeFrames();
+  const std::uint64_t reserve = config_.low_free_frames;
+  const std::uint64_t headroom = free > reserve ? free - reserve : 0;
+  // Integer throughout: same free-frame count, same grant, every run.
+  std::uint64_t grant = headroom / (pdu_pages * flows);
+  if (grant < 1) {
+    grant = 1;  // the no-deadlock floor: a granted PDU is how acks flow back
+  }
+  if (grant > max_credit) {
+    grant = max_credit;
+  }
+  return static_cast<std::uint32_t>(grant);
 }
 
 void PressureManager::RecordAllocSuccess(PathId path) {

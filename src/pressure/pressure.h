@@ -31,9 +31,11 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "src/cache/file_cache.h"
 #include "src/fbuf/fbuf_system.h"
+#include "src/pressure/retransmit_ledger.h"
 #include "src/sim/event_loop.h"
 
 namespace fbufs {
@@ -51,6 +53,11 @@ struct PressureConfig {
   SimTime path_idle_ns = 10 * kMillisecond;
   // Consecutive allocation failures on a path before it degrades to copy.
   std::uint32_t degrade_after_failures = 3;
+  // A retransmit-pinned fbuf this old counts as cold: its retransmission has
+  // already waited at least one RTO-scale horizon, so the sweep's pageout
+  // stage may write it to backing store (the next retransmission faults it
+  // back in at page_in_ns instead of wedging the allocator now).
+  SimTime pageout_min_age_ns = 2 * kMillisecond;
 };
 
 // Whether a path should currently move data zero-copy or via the copy
@@ -71,6 +78,28 @@ class PressureManager : public PressureHooks {
   void AttachEventLoop(EventLoop* loop) { loop_ = loop; }
   // Clean blocks of |cache| become reclaimable (evicted toward the floor).
   void AttachFileCache(FileCache* cache) { cache_ = cache; }
+
+  // Registers a transport's pinned-retransmit ledger. The sweep gains a
+  // pageout stage: cold pinned fbufs (pinned longer than pageout_min_age_ns)
+  // are written to backing store — their contents must survive for the
+  // retransmission, so unlike free-listed memory they are paged, never
+  // discarded. Ledgers must outlive the manager or be detached by
+  // DetachRetransmitLedgers.
+  void AttachRetransmitLedger(const RetransmitLedger* ledger) {
+    ledgers_.push_back(ledger);
+  }
+  void DetachRetransmitLedgers() { ledgers_.clear(); }
+
+  // --- Credit flow control ----------------------------------------------------
+  // The receiver-side grant calculator: how many PDUs of |pdu_pages| pages
+  // each of |flows| senders may keep in flight, given current free frames
+  // minus the low-watermark reserve. Clamped to [1, max_credit]: the floor
+  // avoids credit deadlock (a flow with zero credit never generates the ack
+  // that would re-grant it), the ceiling bounds how much one ack can open.
+  // As the pool approaches the low watermark the grant shrinks toward 1 —
+  // this is how memory pressure propagates backward into the network.
+  std::uint32_t CreditFor(std::uint64_t pdu_pages, std::uint32_t flows,
+                          std::uint32_t max_credit) const;
 
   // PressureHooks:
   void OnAllocate() override;
@@ -99,6 +128,7 @@ class PressureManager : public PressureHooks {
   std::uint64_t pages_reclaimed() const { return pages_reclaimed_; }
   std::uint64_t degradations() const { return degradations_; }
   std::uint64_t restorations() const { return restorations_; }
+  std::uint64_t pages_paged_out() const { return pages_paged_out_; }
 
  private:
   struct PathState {
@@ -109,11 +139,16 @@ class PressureManager : public PressureHooks {
   std::uint64_t FreeFrames() const;
   // One reclamation pass toward |target_free| frames; returns pages freed.
   std::uint64_t Sweep(std::uint64_t target_free);
+  // The sweep's pageout stage: page cold ledger-pinned fbufs to backing
+  // store until |target_free| frames are free or the cold set is exhausted.
+  void PageOutColdPinned(std::uint64_t target_free);
 
   FbufSystem* fsys_;
   PressureConfig config_;
   EventLoop* loop_ = nullptr;
   FileCache* cache_ = nullptr;
+  std::vector<const RetransmitLedger*> ledgers_;
+  std::uint64_t pages_paged_out_ = 0;
   bool sweep_scheduled_ = false;
   bool in_sweep_ = false;
   std::map<PathId, PathState> path_states_;

@@ -1,0 +1,128 @@
+// RetransmitLedger: the bookkeeping side of pinned retransmission buffers.
+//
+// A reliable transport retains fbuf references for every unacknowledged PDU
+// (§2.1.3 — copy semantics make retention a reference, never a copy). Under
+// deep congestion those references pin memory for whole RTOs, which couples
+// the network's failure mode to the memory subsystem's. The ledger makes the
+// pinning first-class and auditable:
+//
+//   * the transport Pins each transmitted PDU's fbufs (with the pin time)
+//     and Releases them on cumulative ack, so at any instant
+//     pinned PDUs == the sender's unacked window — the InvariantAuditor
+//     hard-checks exactly that equality, and that the ledger drained at
+//     quiescence;
+//   * a flow abort (domain termination mid-retransmit) ReclaimsAll: the
+//     kernel's §3.3 cleanup already dropped the references, the ledger only
+//     forgets its bookkeeping — and counts the reclamation, so campaigns can
+//     assert the abort path actually ran;
+//   * the PressureManager's pageout stage walks ForEachCold to find fbufs
+//     that have been pinned longer than a threshold (the retransmission is
+//     not imminent — the data is cold) and writes them to backing store
+//     instead of letting the pinned window wedge the allocator.
+//
+// The ledger holds raw Fbuf pointers, never references: the transport owns
+// the references (RetainMessage/FreeMessage); the ledger is pure accounting
+// and is safe to clear after the fbufs died.
+#ifndef SRC_PRESSURE_RETRANSMIT_LEDGER_H_
+#define SRC_PRESSURE_RETRANSMIT_LEDGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/fbuf/fbuf.h"
+#include "src/sim/clock.h"
+
+namespace fbufs {
+
+class RetransmitLedger {
+ public:
+  // Records |fbufs| as pinned for PDU |seq| at |now|. One entry per PDU; a
+  // retransmission does not re-pin (the references were never dropped).
+  void Pin(std::uint32_t seq, const std::vector<Fbuf*>& fbufs, SimTime now) {
+    Entry& e = entries_[seq];
+    if (!e.fbufs.empty()) {
+      return;  // already pinned (defensive; Push pins exactly once)
+    }
+    e.fbufs = fbufs;
+    e.pinned_at = now;
+    for (const Fbuf* fb : fbufs) {
+      pinned_pages_ += fb->pages;
+    }
+    total_pinned_++;
+    if (entries_.size() > peak_pinned_pdus_) {
+      peak_pinned_pdus_ = entries_.size();
+    }
+  }
+
+  // Cumulative ack: every PDU with seq < |upto| is released.
+  void ReleaseBelow(std::uint32_t upto) {
+    while (!entries_.empty() && entries_.begin()->first < upto) {
+      Drop(entries_.begin());
+      released_on_ack_++;
+    }
+  }
+
+  void Release(std::uint32_t seq) {
+    auto it = entries_.find(seq);
+    if (it != entries_.end()) {
+      Drop(it);
+      released_on_ack_++;
+    }
+  }
+
+  // Flow abort: the domain died (or the flow was failed) with PDUs still
+  // pinned. The references are gone either way; forget the bookkeeping and
+  // count the reclamation.
+  void ReclaimAll() {
+    reclaimed_on_abort_ += entries_.size();
+    entries_.clear();
+    pinned_pages_ = 0;
+  }
+
+  // Fbufs pinned since before |now - min_age| (cold: their retransmission
+  // has already waited at least one pageout horizon). Visit order is seq
+  // order — deterministic.
+  void ForEachCold(SimTime now, SimTime min_age,
+                   const std::function<void(Fbuf*)>& fn) const {
+    for (const auto& [seq, e] : entries_) {
+      if (now >= e.pinned_at && now - e.pinned_at >= min_age) {
+        for (Fbuf* fb : e.fbufs) {
+          fn(fb);
+        }
+      }
+    }
+  }
+
+  std::size_t pinned_pdus() const { return entries_.size(); }
+  std::uint64_t pinned_pages() const { return pinned_pages_; }
+  std::size_t peak_pinned_pdus() const { return peak_pinned_pdus_; }
+  std::uint64_t total_pinned() const { return total_pinned_; }
+  std::uint64_t released_on_ack() const { return released_on_ack_; }
+  std::uint64_t reclaimed_on_abort() const { return reclaimed_on_abort_; }
+
+ private:
+  struct Entry {
+    std::vector<Fbuf*> fbufs;
+    SimTime pinned_at = 0;
+  };
+
+  void Drop(std::map<std::uint32_t, Entry>::iterator it) {
+    for (const Fbuf* fb : it->second.fbufs) {
+      pinned_pages_ -= fb->pages;
+    }
+    entries_.erase(it);
+  }
+
+  std::map<std::uint32_t, Entry> entries_;
+  std::uint64_t pinned_pages_ = 0;
+  std::size_t peak_pinned_pdus_ = 0;
+  std::uint64_t total_pinned_ = 0;
+  std::uint64_t released_on_ack_ = 0;
+  std::uint64_t reclaimed_on_abort_ = 0;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_PRESSURE_RETRANSMIT_LEDGER_H_

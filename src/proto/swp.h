@@ -8,113 +8,31 @@
 // reference, never a copy. The receiver buffers out-of-order frames the
 // same way.
 //
-// Frames carry a small header (type, sequence, length); acknowledgements
-// are cumulative. Retransmission is driven either by explicit Tick() calls
-// (a hand-cranked timer interrupt) or — when an EventLoop is attached via
-// AttachTimer — by a real scheduled retransmission timeout: each transmit
-// arms a one-shot event RTO nanoseconds out, and the handler retransmits
-// whatever is still outstanding when it fires.
+// The engine — retention, cumulative acks, go-back-all retransmission, the
+// evented RTO timer, in-order delivery — lives in src/proto/transport.h;
+// SWP is that engine under a FixedWindowPolicy with the classic 16-byte
+// header. Frames carry (type, sequence, length); acknowledgements are
+// cumulative. Retransmission is driven either by explicit Tick() calls (a
+// hand-cranked timer interrupt) or — when an EventLoop is attached via
+// AttachTimer — by a real scheduled retransmission timeout.
 #ifndef SRC_PROTO_SWP_H_
 #define SRC_PROTO_SWP_H_
 
 #include <cstdint>
-#include <map>
+#include <memory>
 
-#include "src/proto/protocol.h"
-#include "src/sim/event_loop.h"
+#include "src/proto/transport.h"
 #include "src/sim/rng.h"
 
 namespace fbufs {
 
-struct SwpHeader {
-  static constexpr std::uint32_t kData = 0x5350'4441;  // "SPDA"
-  static constexpr std::uint32_t kAck = 0x5350'4143;   // "SPAC"
-
-  std::uint32_t type = kData;
-  std::uint32_t seq = 0;   // data: frame number | ack: next expected frame
-  std::uint64_t len = 0;   // data payload bytes
-};
-static_assert(sizeof(SwpHeader) == 16);
-
-class SwpProtocol : public Protocol {
+class SwpProtocol : public Transport {
  public:
   SwpProtocol(Domain* domain, ProtocolStack* stack, PathId hdr_path,
               std::uint32_t window = 8)
-      : Protocol("swp", domain, stack), hdr_path_(hdr_path), window_(window) {}
-
-  // --- Sender side ------------------------------------------------------------
-  // Accepts a message when the window has room (kExhausted otherwise),
-  // retains it for possible retransmission, and transmits a data frame.
-  Status Push(Message m) override;
-
-  // Retransmits every unacknowledged frame (timer fired). Idempotent when
-  // nothing is outstanding.
-  Status Tick();
-
-  // Drives retransmission from |loop|: every data transmit arms a one-shot
-  // timeout |rto| nanoseconds of sender time out. When it fires with frames
-  // still outstanding they are retransmitted and the timer re-arms; when the
-  // last outstanding frame is acknowledged the pending timeout is cancelled
-  // (EventLoop::Cancel), so a fully-acked sender leaves no stale events in
-  // the queue.
-  void AttachTimer(EventLoop* loop, SimTime rto) {
-    loop_ = loop;
-    rto_ = rto;
-  }
-
-  // --- Receiver side -----------------------------------------------------------
-  // Handles an arriving frame: data frames are acknowledged (cumulative)
-  // and delivered upward in order; ack frames release retained references.
-  Status Pop(Message m) override;
-
-  bool touches_body() const override { return false; }
-
-  std::uint32_t unacked() const { return static_cast<std::uint32_t>(outstanding_.size()); }
-  std::uint64_t retransmissions() const { return retransmissions_; }
-  std::uint64_t acks_sent() const { return acks_sent_; }
-  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
-  std::uint64_t delivered_in_order() const { return delivered_in_order_; }
-  std::uint64_t timer_fires() const { return timer_fires_; }
-  std::uint32_t next_seq() const { return next_seq_; }
-  // Receiver-side out-of-order frames still awaiting their gap (nonzero at
-  // quiescence means delivery wedged — the fault auditor's concern).
-  std::size_t stashed() const { return stash_.size(); }
-  SimTime rto() const { return rto_; }
-
- private:
-  Status TransmitData(std::uint32_t seq, const Message& m);
-  Status TransmitAck();
-  Status DeliverReady();
-  void ArmTimer();
-
-  PathId hdr_path_;
-  std::uint32_t window_;
-
-  // Evented retransmission (AttachTimer); null loop means Tick()-driven.
-  EventLoop* loop_ = nullptr;
-  SimTime rto_ = 0;
-  bool timer_pending_ = false;
-  EventLoop::EventId timer_id_ = 0;
-
-  // Sender state: retained frames awaiting acknowledgement.
-  std::uint32_t next_seq_ = 0;
-  std::uint32_t send_base_ = 0;
-  std::map<std::uint32_t, Message> outstanding_;
-
-  // Receiver state: next frame to deliver and the out-of-order stash.
-  std::uint32_t recv_next_ = 0;
-  std::map<std::uint32_t, Message> stash_;
-
-  // Last transmit time per outstanding frame, for the RTT histogram.
-  // Retransmission restamps the frame (Karn-style: a retransmitted frame's
-  // sample measures its latest transmission, not the first).
-  std::map<std::uint32_t, SimTime> send_time_;
-
-  std::uint64_t retransmissions_ = 0;
-  std::uint64_t acks_sent_ = 0;
-  std::uint64_t duplicates_dropped_ = 0;
-  std::uint64_t delivered_in_order_ = 0;
-  std::uint64_t timer_fires_ = 0;
+      : Transport("swp", domain, stack, hdr_path,
+                  std::make_unique<FixedWindowPolicy>(window),
+                  /*extended_header=*/false) {}
 };
 
 // A deliberately unreliable hop for failure injection: drops a configurable

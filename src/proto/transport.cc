@@ -1,29 +1,51 @@
-#include "src/proto/swp.h"
+#include "src/proto/transport.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace fbufs {
 
-Status SwpProtocol::TransmitData(std::uint32_t seq, const Message& m) {
+Transport::Transport(std::string name, Domain* domain, ProtocolStack* stack,
+                     PathId hdr_path, std::unique_ptr<CongestionPolicy> policy,
+                     bool extended_header)
+    : Protocol(name, domain, stack),
+      hdr_path_(hdr_path),
+      policy_(std::move(policy)),
+      extended_(extended_header),
+      span_send_(name + "-send"),
+      span_ack_(name + "-ack"),
+      span_recv_(name + "-recv"),
+      rtt_metric_(name + ".rtt_ns") {}
+
+Status Transport::TransmitData(std::uint32_t seq, const Message& m) {
   Machine& machine = *stack_->machine();
   LayerScope layer(machine.attribution(), CostDomain::kProto);
   ActorScope actor(machine.attribution(), domain()->id());
   PathScope pscope(machine.attribution(), hdr_path_);
   // The send span encloses fragmentation (IP) and adapter work below.
-  TraceSpan span(machine.trace(), TraceCategory::kProto, "swp-send", seq, m.length());
+  TraceSpan span(machine.trace(), TraceCategory::kProto, span_send_.c_str(),
+                 seq, m.length());
   send_time_[seq] = machine.clock().Now();
   machine.clock().Advance(machine.costs().proto_pdu_ns);
   Fbuf* hdr_fb = nullptr;
-  Status st = stack_->fsys()->Allocate(*domain(), hdr_path_, sizeof(SwpHeader),
+  Status st = stack_->fsys()->Allocate(*domain(), hdr_path_, header_bytes(),
                                        /*want_volatile=*/true, &hdr_fb);
   if (!Ok(st)) {
     return st;
   }
-  SwpHeader h;
-  h.type = SwpHeader::kData;
-  h.seq = seq;
-  h.len = m.length();
-  st = domain()->WriteBytes(hdr_fb->base, &h, sizeof(h));
+  if (extended_) {
+    TransportHeader h;
+    h.type = SwpHeader::kData;
+    h.seq = seq;
+    h.len = m.length();
+    st = domain()->WriteBytes(hdr_fb->base, &h, sizeof(h));
+  } else {
+    SwpHeader h;
+    h.type = SwpHeader::kData;
+    h.seq = seq;
+    h.len = m.length();
+    st = domain()->WriteBytes(hdr_fb->base, &h, sizeof(h));
+  }
   if (Ok(st)) {
     st = SendDown(Message::Concat(Message::Whole(hdr_fb), m));
   }
@@ -31,24 +53,43 @@ Status SwpProtocol::TransmitData(std::uint32_t seq, const Message& m) {
   return Ok(st) ? free_st : st;
 }
 
-Status SwpProtocol::TransmitAck() {
+Status Transport::TransmitAck() {
   Machine& machine = *stack_->machine();
   LayerScope layer(machine.attribution(), CostDomain::kProto);
   ActorScope actor(machine.attribution(), domain()->id());
   PathScope pscope(machine.attribution(), hdr_path_);
-  TraceSpan span(machine.trace(), TraceCategory::kProto, "swp-ack", recv_next_, 0);
+  TraceSpan span(machine.trace(), TraceCategory::kProto, span_ack_.c_str(),
+                 recv_next_, 0);
   machine.clock().Advance(machine.costs().proto_pdu_ns);
   Fbuf* hdr_fb = nullptr;
-  Status st = stack_->fsys()->Allocate(*domain(), hdr_path_, sizeof(SwpHeader),
+  Status st = stack_->fsys()->Allocate(*domain(), hdr_path_, header_bytes(),
                                        /*want_volatile=*/true, &hdr_fb);
   if (!Ok(st)) {
     return st;
   }
-  SwpHeader h;
-  h.type = SwpHeader::kAck;
-  h.seq = recv_next_;
-  h.len = 0;
-  st = domain()->WriteBytes(hdr_fb->base, &h, sizeof(h));
+  if (extended_) {
+    TransportHeader h;
+    h.type = SwpHeader::kAck;
+    h.seq = recv_next_;
+    h.len = 0;
+    // The grant rides on every ack: the receiver's current view of how many
+    // PDUs this flow may keep in flight, sized to its fbuf headroom.
+    h.credit = credit_source_ ? credit_source_()
+                              : static_cast<std::uint32_t>(-1);
+    h.flags = 0;
+    if (pending_ece_) {
+      h.flags |= TransportHeader::kFlagEce;
+      pending_ece_ = false;
+      ece_echoed_++;
+    }
+    st = domain()->WriteBytes(hdr_fb->base, &h, sizeof(h));
+  } else {
+    SwpHeader h;
+    h.type = SwpHeader::kAck;
+    h.seq = recv_next_;
+    h.len = 0;
+    st = domain()->WriteBytes(hdr_fb->base, &h, sizeof(h));
+  }
   if (Ok(st)) {
     acks_sent_++;
     st = SendDown(Message::Whole(hdr_fb));
@@ -57,9 +98,9 @@ Status SwpProtocol::TransmitAck() {
   return Ok(st) ? free_st : st;
 }
 
-Status SwpProtocol::Push(Message m) {
-  if (outstanding_.size() >= window_) {
-    return Status::kExhausted;
+Status Transport::Push(Message m) {
+  if (!policy_->CanSend(outstanding_.size())) {
+    return policy_->RefusalStatus();
   }
   // Copy semantics at work: retain a reference so the data stays intact and
   // accessible for retransmission, no matter what the producer does next
@@ -70,6 +111,9 @@ Status SwpProtocol::Push(Message m) {
   }
   const std::uint32_t seq = next_seq_++;
   outstanding_[seq] = m;
+  if (ledger_ != nullptr) {
+    ledger_->Pin(seq, m.Fbufs(), stack_->machine()->clock().Now());
+  }
   st = TransmitData(seq, m);
   if (Ok(st)) {
     ArmTimer();
@@ -77,7 +121,7 @@ Status SwpProtocol::Push(Message m) {
   return st;
 }
 
-void SwpProtocol::ArmTimer() {
+void Transport::ArmTimer() {
   if (loop_ == nullptr || timer_pending_ || outstanding_.empty()) {
     return;
   }
@@ -100,7 +144,11 @@ void SwpProtocol::ArmTimer() {
   });
 }
 
-Status SwpProtocol::Tick() {
+Status Transport::Tick() {
+  if (!outstanding_.empty()) {
+    // One loss signal per timer fire, however many frames go back out.
+    policy_->OnTimeout(next_seq_);
+  }
   // A retransmitted frame can be acknowledged synchronously (the ack rides
   // back inside TransmitData's call chain) and erase outstanding_ entries,
   // so iterate over a snapshot of the sequence numbers.
@@ -123,7 +171,7 @@ Status SwpProtocol::Tick() {
   return Status::kOk;
 }
 
-Status SwpProtocol::DeliverReady() {
+Status Transport::DeliverReady() {
   while (true) {
     auto it = stash_.find(recv_next_);
     if (it == stash_.end()) {
@@ -145,12 +193,13 @@ Status SwpProtocol::DeliverReady() {
   }
 }
 
-Status SwpProtocol::Pop(Message m) {
+Status Transport::Pop(Message m) {
   Machine& machine = *stack_->machine();
   LayerScope layer(machine.attribution(), CostDomain::kProto);
   ActorScope actor(machine.attribution(), domain()->id());
   PathScope pscope(machine.attribution(), hdr_path_);
-  TraceSpan span(machine.trace(), TraceCategory::kProto, "swp-recv", 0, m.length());
+  TraceSpan span(machine.trace(), TraceCategory::kProto, span_recv_.c_str(),
+                 0, m.length());
   machine.clock().Advance(machine.costs().proto_pdu_ns);
   SwpHeader h;
   Status st = m.CopyOut(*domain(), 0, &h, sizeof(h));
@@ -159,13 +208,25 @@ Status SwpProtocol::Pop(Message m) {
   }
 
   if (h.type == SwpHeader::kAck) {
+    std::uint32_t credit = static_cast<std::uint32_t>(-1);
+    bool ece = false;
+    if (extended_) {
+      TransportHeader xh;
+      st = m.CopyOut(*domain(), 0, &xh, sizeof(xh));
+      if (!Ok(st)) {
+        return st;
+      }
+      credit = xh.credit;
+      ece = (xh.flags & TransportHeader::kFlagEce) != 0;
+    }
     // Cumulative: everything below h.seq is delivered; drop retentions.
+    std::uint32_t newly_acked = 0;
     while (!outstanding_.empty() && outstanding_.begin()->first < h.seq) {
       const std::uint32_t acked = outstanding_.begin()->first;
       const auto sent = send_time_.find(acked);
       if (sent != send_time_.end()) {
         if (machine.metrics() != nullptr && machine.clock().Now() >= sent->second) {
-          machine.metrics()->GetHistogram("swp.rtt_ns")
+          machine.metrics()->GetHistogram(rtt_metric_)
               ->Observe(machine.clock().Now() - sent->second);
         }
         send_time_.erase(sent);
@@ -175,13 +236,29 @@ Status SwpProtocol::Pop(Message m) {
         return free_st;
       }
       outstanding_.erase(outstanding_.begin());
+      newly_acked++;
+    }
+    if (ledger_ != nullptr) {
+      ledger_->ReleaseBelow(h.seq);
     }
     if (h.seq > send_base_) {
       send_base_ = h.seq;
     }
-    if (outstanding_.empty() && timer_pending_ && loop_ != nullptr) {
+    if (extended_) {
+      policy_->OnCreditGrant(credit);
+    }
+    // Duplicate acks (newly_acked == 0) still reach the policy: an ECN echo
+    // on a re-ack must still shrink the AIMD window.
+    policy_->OnAck(h.seq, newly_acked, ece, next_seq_);
+    if (timer_pending_ && loop_ != nullptr &&
+        (outstanding_.empty() || newly_acked > 0)) {
+      // Full ack: nothing left to guard. Partial ack: the clock restarts
+      // for the frames still in flight — keeping the original deadline
+      // would fire a spurious go-back-all RTO every rto_ whenever the
+      // window stays continuously occupied, acks or no acks.
       loop_->Cancel(timer_id_);
       timer_pending_ = false;
+      ArmTimer();
     }
     return Status::kOk;
   }
@@ -189,7 +266,7 @@ Status SwpProtocol::Pop(Message m) {
     return Status::kInvalidArgument;
   }
 
-  const Message body = m.Slice(sizeof(SwpHeader), h.len);
+  const Message body = m.Slice(header_bytes(), h.len);
   if (body.length() < h.len) {
     return Status::kTruncated;
   }
@@ -217,6 +294,59 @@ Status SwpProtocol::Pop(Message m) {
     stash_[h.seq] = body;
   }
   return TransmitAck();
+}
+
+Status Transport::Shutdown() {
+  if (timer_pending_ && loop_ != nullptr) {
+    loop_->Cancel(timer_id_);
+    timer_pending_ = false;
+  }
+  Status st = Status::kOk;
+  for (auto& [seq, m] : outstanding_) {
+    const Status free_st = stack_->FreeMessage(m, *domain());
+    if (Ok(st) && !Ok(free_st)) {
+      st = free_st;
+    }
+  }
+  outstanding_.clear();
+  send_time_.clear();
+  for (auto& [seq, m] : stash_) {
+    const Status free_st = stack_->FreeMessage(m, *domain());
+    if (Ok(st) && !Ok(free_st)) {
+      st = free_st;
+    }
+  }
+  stash_.clear();
+  if (ledger_ != nullptr) {
+    ledger_->ReclaimAll();
+  }
+  aborted_ = true;
+  return st;
+}
+
+void Transport::OnFlowAbort() {
+  aborted_ = true;
+  if (timer_pending_ && loop_ != nullptr) {
+    loop_->Cancel(timer_id_);
+    timer_pending_ = false;
+  }
+  // The §3.3 domain cleanup already dropped every reference this domain held
+  // (fbufs were unmapped and unreffed when it died) — freeing here would
+  // double-free. Forget the bookkeeping only.
+  outstanding_.clear();
+  send_time_.clear();
+  stash_.clear();
+  if (ledger_ != nullptr) {
+    ledger_->ReclaimAll();
+  }
+}
+
+void Transport::InstallAbortOnTermination() {
+  stack_->machine()->AddTerminationHook([this](Domain& d) {
+    if (&d == domain()) {
+      OnFlowAbort();
+    }
+  });
 }
 
 }  // namespace fbufs

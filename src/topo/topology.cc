@@ -27,7 +27,11 @@ SwitchNode::Outcome SwitchNode::Forward(std::uint32_t vci, std::uint64_t bytes,
   }
   Port& p = ports_[it->second];
   // PDUs whose transmission completed by |arrival| have left the queue.
-  while (!p.in_flight.empty() && p.in_flight.front() <= arrival) {
+  while (!p.in_flight.empty() && p.in_flight.front().done <= arrival) {
+    auto depth = p.vci_depth.find(p.in_flight.front().vci);
+    if (depth != p.vci_depth.end() && --depth->second == 0) {
+      p.vci_depth.erase(depth);
+    }
     p.in_flight.pop_front();
   }
   if (p.in_flight.size() >= p.cfg.queue_pdus) {
@@ -38,19 +42,33 @@ SwitchNode::Outcome SwitchNode::Forward(std::uint32_t vci, std::uint64_t bytes,
       static_cast<SimTime>(static_cast<double>(bytes) * 8.0 * 1000.0 / p.cfg.mbps) +
       p.cfg.per_pdu_ns;
   const SimTime done = p.line.Acquire(arrival, serialize);
-  p.in_flight.push_back(done);
+  p.in_flight.push_back({done, vci});
   p.forwarded++;
+  const std::size_t depth_after = ++p.vci_depth[vci];
+  bool marked = false;
+  if (ecn_threshold_pdus_ > 0 && depth_after > ecn_threshold_pdus_) {
+    marked = true;
+    p.ecn_marks++;
+  }
   if (metrics_ != nullptr) {
     metrics_->GetHistogram("switch." + name_ + ".queue_depth")
         ->Observe(p.in_flight.size());
   }
-  return {done, false};
+  return {done, false, marked};
 }
 
 std::uint64_t SwitchNode::drops_total() const {
   std::uint64_t n = unroutable_;
   for (const Port& p : ports_) {
     n += p.drops;
+  }
+  return n;
+}
+
+std::uint64_t SwitchNode::ecn_marks_total() const {
+  std::uint64_t n = 0;
+  for (const Port& p : ports_) {
+    n += p.ecn_marks;
   }
   return n;
 }

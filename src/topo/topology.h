@@ -98,11 +98,24 @@ class SwitchNode {
   struct Outcome {
     SimTime done = 0;
     bool dropped = false;
+    // ECN: this PDU saw its VCI's queue standing above the marking
+    // threshold. Fbufs are immutable in flight, so the mark travels
+    // out-of-band with the delivery — the receiving transport echoes it in
+    // its next ack (Transport::MarkCongestionExperienced).
+    bool ecn_marked = false;
   };
 
   // A PDU fully received at |arrival| leaves the switch at the returned
   // time, or is dropped (unroutable VCI or full output queue).
   Outcome Forward(std::uint32_t vci, std::uint64_t bytes, SimTime arrival);
+
+  // ECN marking threshold, in PDUs of one VCI standing in one output queue.
+  // Zero (the default) disables marking: the switch sheds by dropping only,
+  // which is what the fixed-window incast collapse measures. The threshold
+  // is deliberately per-VCI, not per-port: one incast victim flow must not
+  // get every crossing flow marked.
+  void set_ecn_threshold(std::size_t pdus) { ecn_threshold_pdus_ = pdus; }
+  std::size_t ecn_threshold() const { return ecn_threshold_pdus_; }
 
   // Runtime queue knob (fault campaigns): PDUs already queued stay; new
   // arrivals see the new bound. Zero means every arrival is shed.
@@ -122,24 +135,34 @@ class SwitchNode {
   Resource& port_resource(std::size_t i) { return ports_[i].line; }
   std::uint64_t port_drops(std::size_t i) const { return ports_[i].drops; }
   std::uint64_t port_forwarded(std::size_t i) const { return ports_[i].forwarded; }
+  std::uint64_t port_ecn_marks(std::size_t i) const { return ports_[i].ecn_marks; }
   std::uint64_t unroutable() const { return unroutable_; }
   std::uint64_t drops_total() const;
+  std::uint64_t ecn_marks_total() const;
 
  private:
+  struct QueuedPdu {
+    SimTime done = 0;        // completion time of this queued/in-service PDU
+    std::uint32_t vci = 0;   // which flow it belongs to (per-VCI ECN depth)
+  };
+
   struct Port {
     explicit Port(const SwitchPortConfig& c, const std::string& rname)
         : cfg(c), line(rname) {}
     SwitchPortConfig cfg;
     Resource line;
-    std::deque<SimTime> in_flight;  // completion times of queued + in-service PDUs
+    std::deque<QueuedPdu> in_flight;  // queued + in-service PDUs, by completion
+    std::map<std::uint32_t, std::size_t> vci_depth;  // standing PDUs per VCI
     std::uint64_t drops = 0;
     std::uint64_t forwarded = 0;
+    std::uint64_t ecn_marks = 0;
   };
 
   std::string name_;
   std::vector<Port> ports_;
   std::map<std::uint32_t, std::size_t> routes_;
   std::uint64_t unroutable_ = 0;
+  std::size_t ecn_threshold_pdus_ = 0;
   MetricsRegistry* metrics_ = nullptr;
 };
 

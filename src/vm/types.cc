@@ -32,6 +32,10 @@ const char* StatusName(Status s) {
       return "truncated";
     case Status::kBackpressure:
       return "backpressure";
+    case Status::kCongestion:
+      return "congestion";
+    case Status::kCreditExhausted:
+      return "credit-exhausted";
   }
   return "unknown";
 }

@@ -63,6 +63,8 @@ enum class Status : std::uint8_t {
   kNotFound,
   kTruncated,       // reassembly/extract produced fewer bytes than asked
   kBackpressure,    // refused while the host sheds memory pressure
+  kCongestion,      // congestion window closed (AIMD transport backed off)
+  kCreditExhausted, // receiver-granted credits spent; await the next grant
 };
 
 const char* StatusName(Status s);
