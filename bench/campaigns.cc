@@ -47,13 +47,16 @@
 // JSON. --smoke scales message counts and fault times down for CI.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/fault/campaign.h"
 #include "src/fault/incast_world.h"
 #include "src/fault/swp_world.h"
+#include "src/obs/lifecycle.h"
 #include "src/obs/trace_export.h"
 #include "src/serve/serve_world.h"
 #include "src/sim/rng.h"
@@ -115,6 +118,97 @@ void PrintReport(const CampaignReport& r) {
     std::printf("outcome: %s\n", r.outcome_note().c_str());
   }
 }
+
+// --- Journey reconciliation --------------------------------------------------
+//
+// Fbuf provenance audited beside the §3.3 audits: one LifecycleTracker per
+// machine, attached before any traffic, reconciled after the run. Every
+// recorded journey must end in kFree (or kAbort when its domain was
+// terminated) with its pins balanced; termination campaigns additionally
+// demand that the §3.3 sweep left at least one abort hop in the record.
+
+class JourneyAudit {
+ public:
+  void Attach(Machine* m) {
+    entries_.push_back({m, std::make_unique<LifecycleTracker>(m)});
+    m->AttachLifecycle(entries_.back().tracker.get());
+  }
+
+  void AttachTopology(BuiltTopology* b) {
+    for (NodeId n = 0; n < b->topo->node_count(); ++n) {
+      if (b->topo->is_switch(n)) {
+        continue;
+      }
+      SimHost* h = b->topo->host(n);
+      if (h != nullptr) {
+        Attach(&h->machine);
+      }
+    }
+  }
+
+  // Trackers die with this object while worlds may free fbufs afterwards —
+  // never leave a machine pointing at a dead observer.
+  ~JourneyAudit() {
+    for (Entry& e : entries_) {
+      e.machine->AttachLifecycle(nullptr);
+    }
+  }
+
+  // Detaches and reconciles every tracker. |min_aborts| demands that at
+  // least that many journeys ended in a §3.3 abort (termination campaigns).
+  bool Finish(const std::string& campaign, std::uint64_t min_aborts = 0) {
+    std::uint64_t journeys = 0;
+    std::uint64_t aborted = 0;
+    bool ok = true;
+    for (Entry& e : entries_) {
+      e.machine->AttachLifecycle(nullptr);
+      const LifecycleTracker::Reconciliation rec = e.tracker->Reconcile();
+      journeys += e.tracker->journeys().size();
+      aborted += rec.aborted;
+      if (std::getenv("JOURNEY_DEBUG") != nullptr) {
+        std::fprintf(stderr,
+                     "[journey-debug] %s %s: journeys=%zu open=%llu ended=%llu "
+                     "aborted=%llu\n",
+                     campaign.c_str(), e.machine->name().c_str(),
+                     e.tracker->journeys().size(),
+                     (unsigned long long)rec.open, (unsigned long long)rec.ended,
+                     (unsigned long long)rec.aborted);
+      }
+      if (!rec.passed() || rec.dropped != 0) {
+        std::fprintf(stderr,
+                     "campaign %s: journey reconciliation failed on %s: "
+                     "open=%llu pin_imbalance=%llu bad_end=%llu dropped=%llu\n",
+                     campaign.c_str(), e.machine->name().c_str(),
+                     static_cast<unsigned long long>(rec.open),
+                     static_cast<unsigned long long>(rec.pin_imbalance),
+                     static_cast<unsigned long long>(rec.bad_end),
+                     static_cast<unsigned long long>(rec.dropped));
+        ok = false;
+      }
+    }
+    if (journeys == 0) {
+      std::fprintf(stderr, "campaign %s: no journey was ever recorded\n",
+                   campaign.c_str());
+      ok = false;
+    }
+    if (aborted < min_aborts) {
+      std::fprintf(stderr,
+                   "campaign %s: expected >= %llu aborted journeys, saw %llu\n",
+                   campaign.c_str(),
+                   static_cast<unsigned long long>(min_aborts),
+                   static_cast<unsigned long long>(aborted));
+      ok = false;
+    }
+    return ok;
+  }
+
+ private:
+  struct Entry {
+    Machine* machine;
+    std::unique_ptr<LifecycleTracker> tracker;
+  };
+  std::vector<Entry> entries_;
+};
 
 // --- Trace capture and export ------------------------------------------------
 //
@@ -203,6 +297,8 @@ CampaignReport RunLossBurst() {
   cfg.switch_port.mbps = 140.0;
   BuiltTopology b = BuildTopology(cfg);
   ArmTopologyCapture(&b);
+  JourneyAudit ja;
+  ja.AttachTopology(&b);
 
   CampaignRunner cr("loss_burst", cfg.seed, b.loop.get());
   cr.AttachTopology(b.topo.get(), b.runner.get());
@@ -243,6 +339,7 @@ CampaignReport RunLossBurst() {
   for (const FlowResult& f : mr.flows) {
     flows_ok = flows_ok && !f.stalled;
   }
+  flows_ok = flows_ok && ja.Finish("loss_burst");
   cr.SetOutcome(flows_ok, flows_ok
                               ? "all flows drained despite burst+flap+squeeze"
                               : "a flow failed or wedged");
@@ -257,6 +354,8 @@ CampaignReport RunAckOnlyLoss() {
   SwpWorldConfig wc;
   SwpWorld w(wc);
   ArmHostTrace(w.machine);
+  JourneyAudit ja;
+  ja.Attach(&w.machine);
 
   CampaignRunner cr("ack_only_loss", wc.fwd_seed ^ wc.rev_seed, &w.loop);
   cr.AttachSwp(&w.sender, &w.receiver, &w.fwd, &w.rev, &w.sink, &w.machine);
@@ -279,7 +378,8 @@ CampaignReport RunAckOnlyLoss() {
   w.StartProducer(static_cast<int>(96 / g_scale), 32 * 1024);
   w.loop.Run();
 
-  const bool done = w.accepted() == static_cast<int>(96 / g_scale);
+  const bool done = w.accepted() == static_cast<int>(96 / g_scale) &&
+                    ja.Finish("ack_only_loss");
   const std::uint64_t dupes = w.receiver.duplicates_dropped();
   cr.SetOutcome(done && dupes > 0,
                 done ? "window recovered; retransmissions were duplicates "
@@ -306,6 +406,8 @@ CampaignReport RunRtoSweep() {
     wc.rev_loss = 20;
     SwpWorld w(wc);
     ArmHostTrace(w.machine);
+    JourneyAudit ja;
+    ja.Attach(&w.machine);
 
     CampaignRunner cr("rto_sweep_point", 11 ^ 13, &w.loop);
     cr.AttachSwp(&w.sender, &w.receiver, &w.fwd, &w.rev, &w.sink, &w.machine);
@@ -318,7 +420,8 @@ CampaignReport RunRtoSweep() {
     const SimTime elapsed = w.machine.clock().Now() - t0;
 
     CampaignReport point = cr.Finish();
-    const bool ok = point.audits_passed() && w.accepted() == messages;
+    const bool ok = point.audits_passed() && w.accepted() == messages &&
+                    ja.Finish("rto_sweep");
     all_ok = all_ok && ok;
     for (CampaignReport::AuditEntry a : point.audits()) {
       a.label = "rto=" + std::to_string(rto_us) + "us/" + a.label;
@@ -354,6 +457,8 @@ CampaignReport RunTerminateOriginator() {
   cfg.relays = 1;
   BuiltTopology b = BuildTopology(cfg);
   ArmTopologyCapture(&b);
+  JourneyAudit ja;
+  ja.AttachTopology(&b);
 
   CampaignRunner cr("terminate_originator", cfg.seed, b.loop.get());
   cr.AttachTopology(b.topo.get(), b.runner.get());
@@ -385,7 +490,14 @@ CampaignReport RunTerminateOriginator() {
 
   const FlowResult& f = mr.flows[0];
   const std::uint64_t sink_bytes = b.runner->flow_sink(0).bytes_received();
-  const bool ok = f.failed && !f.stalled && sink_bytes > 0;
+  // The provenance record must reconcile with no orphans: the app's sends
+  // are synchronous within events, so at the axe (an event boundary) it
+  // holds nothing and every journey it opened has already closed — what
+  // the audit proves here is that the §3.3 sweep left nothing open or
+  // imbalanced, not that aborts occurred (a held buffer at the axe would
+  // surface as an abort hop; the hoarder campaign exercises that arm).
+  const bool ok = f.failed && !f.stalled && sink_bytes > 0 &&
+                  ja.Finish("terminate_originator");
   cr.SetOutcome(
       ok, ok ? "flow failed cleanly at termination; receiver-side data "
                "delivered before the fault survived"
@@ -402,6 +514,8 @@ CampaignReport RunHoarder() {
   wc.phys_frames = 512;
   SwpWorld w(wc);
   ArmHostTrace(w.machine);
+  JourneyAudit ja;
+  ja.Attach(&w.machine);
 
   CampaignRunner cr("hoarder", wc.fwd_seed ^ wc.rev_seed, &w.loop);
   cr.AttachSwp(&w.sender, &w.receiver, &w.fwd, &w.rev, &w.sink, &w.machine);
@@ -451,7 +565,10 @@ CampaignReport RunHoarder() {
   const bool drained = w.accepted() == messages && !w.producer_stalled() &&
                        !w.producer_failed();
   const bool reclaimed = w.fsys.PagesOwnedBy(hoarder_id) == 0;
-  const bool ok = drained && reclaimed && hoarded > 0 && w.producer_parks() > 0;
+  // The hoarder's reclaimed fbufs must show as aborted journeys.
+  const bool ok = drained && reclaimed && hoarded > 0 &&
+                  w.producer_parks() > 0 &&
+                  ja.Finish("hoarder", /*min_aborts=*/1);
   cr.SetOutcome(
       ok, ok ? "producer parked under exhaustion, resumed after the hoarder's "
                "termination returned its " +
@@ -470,6 +587,11 @@ CampaignReport RunServerChurn() {
   ServeWorld world(wc);
   ArmHostTrace(world.server().machine);
   ArmHostTrace(world.client(0).machine);
+  JourneyAudit ja;
+  ja.Attach(&world.server().machine);
+  for (std::size_t c = 0; c < world.client_count(); ++c) {
+    ja.Attach(&world.client(c).machine);
+  }
 
   CampaignRunner cr("server_churn", wc.topo_seed, &world.loop());
   // No TopologyRunner here — ServeWorld drives its own wire — so phase rows
@@ -517,8 +639,15 @@ CampaignReport RunServerChurn() {
 
   const bool pins_clean = world.cache().total_pins() == 0 &&
                           world.file_server().inflight_requests() == 0;
+  // The in-flight state at the axe is server-side (pinned blocks for the
+  // dead client's downloads, on fbufs whose originators stay alive): it
+  // must unwind as failed sends whose journeys close with balanced pins —
+  // exactly what Reconcile's pin_imbalance==0 certifies. The dead client's
+  // own journeys all closed before the axe (its request/response handling
+  // is synchronous within events), so no abort floor applies here.
   const bool ok = pins_clean && st.failed > 0 && st.completed > 0 &&
-                  st.completed + st.failed == st.requests;
+                  st.completed + st.failed == st.requests &&
+                  ja.Finish("server_churn");
   cr.SetOutcome(
       ok, ok ? "dead client's " + std::to_string(st.failed) +
                    " flows failed cleanly; " + std::to_string(st.completed) +
@@ -553,6 +682,8 @@ CampaignReport RunCongestionCollapse() {
   wc.senders_per_rack = 8;
   IncastWorld w(wc);
   ArmHostTrace(w.machine);
+  JourneyAudit ja;
+  ja.Attach(&w.machine);
   for (std::uint32_t r = 0; r < wc.racks; ++r) {
     w.topo.switch_at(w.tor_node(r))->port_resource(0).set_record_intervals(true);
   }
@@ -629,7 +760,10 @@ CampaignReport RunCongestionCollapse() {
                             victim.receiver->stashed() == 0 &&
                             victim.sender->aborted();
   const bool storm = w.switch_drops() > 0 && w.total_retransmissions() > 0;
-  const bool ok = survivors_drained && victim_clean && storm;
+  // The axed sender's pinned window must end as aborted journeys; every
+  // survivor's journey must close kFree with its retransmit pins balanced.
+  const bool ok = survivors_drained && victim_clean && storm &&
+                  ja.Finish("congestion_collapse", /*min_aborts=*/1);
   cr.SetOutcome(
       ok, ok ? "survivors drained through the storm (" +
                    std::to_string(w.switch_drops()) + " drops, " +

@@ -28,6 +28,7 @@
 #include "bench/bench_util.h"
 #include "src/fault/auditor.h"
 #include "src/fault/incast_world.h"
+#include "src/obs/lifecycle.h"
 #include "src/obs/trace_export.h"
 
 namespace fbufs {
@@ -53,6 +54,11 @@ struct PointResult {
   bool stalled = false;
   bool failed = false;
   bool audit_passed = false;
+  // Fbuf provenance: journeys recorded, and whether they reconciled (every
+  // journey ends kFree/kAbort, every pin released, nothing left open).
+  std::uint64_t journeys = 0;
+  bool journeys_ok = false;
+  std::string latency_json;  // per-point LatencyDecomposition::ToJson()
 };
 
 IncastWorldConfig ConfigFor(TransportKind kind, std::uint32_t fanin) {
@@ -88,7 +94,20 @@ PointResult RunPoint(TransportKind kind, std::uint32_t fanin, int messages,
 
   const IncastWorldConfig cfg = ConfigFor(kind, fanin);
   IncastWorld w(cfg);
+  // Provenance and latency decomposition ride every point: the tracker and
+  // the per-flow sample vectors are pure host-side observers, so attaching
+  // them never moves a simulated timestamp.
+  LifecycleTracker lifecycle(&w.machine);
+  w.machine.AttachLifecycle(&lifecycle);
+  w.EnableLatency();
+  MetricsRegistry metrics;
   if (export_trace) {
+    metrics.EnableTraceSampling();
+    w.machine.AttachMetrics(&metrics);
+    for (std::uint32_t rk = 0; rk < cfg.racks; ++rk) {
+      w.topo.switch_at(w.tor_node(rk))->AttachMetrics(&metrics);
+    }
+    w.topo.switch_at(w.core_node())->AttachMetrics(&metrics);
     w.machine.trace().SetCapacity(std::size_t{1} << 17);
     w.machine.trace().EnableAll();
     for (LinkId l = 0; l < w.topo.link_count(); ++l) {
@@ -132,6 +151,29 @@ PointResult RunPoint(TransportKind kind, std::uint32_t fanin, int messages,
       audits && InvariantAuditor::AuditHost("incast", w.machine, w.fsys).passed;
   r.audit_passed = audits;
 
+  // Journey reconciliation next to the §3.3 audit: a drained incast run must
+  // close every journey (kFree), balance every retransmit pin, and leave
+  // nothing open or dropped.
+  const LifecycleTracker::Reconciliation rec = lifecycle.Reconcile();
+  r.journeys = lifecycle.journeys().size();
+  r.journeys_ok = rec.passed() && rec.open == 0 && rec.dropped == 0;
+  if (!r.journeys_ok) {
+    std::fprintf(stderr,
+                 "incast: journey reconciliation failed: open=%llu "
+                 "pin_imbalance=%llu bad_end=%llu dropped=%llu\n",
+                 static_cast<unsigned long long>(rec.open),
+                 static_cast<unsigned long long>(rec.pin_imbalance),
+                 static_cast<unsigned long long>(rec.bad_end),
+                 static_cast<unsigned long long>(rec.dropped));
+  }
+
+  // End-to-end latency decomposition, merged across the point's flows.
+  LatencyDecomposition lat;
+  for (std::size_t i = 0; i < w.flow_count(); ++i) {
+    lat.Merge(w.flow(i).lat);
+  }
+  r.latency_json = lat.ToJson();
+
   if (attr_json != nullptr) {
     // Satellite slicing: one attribution bucket per conversation, claiming
     // its header and data paths (the cells already carry the path id).
@@ -155,11 +197,17 @@ PointResult RunPoint(TransportKind kind, std::uint32_t fanin, int messages,
       ex.AddResource(w.topo.switch_at(w.tor_node(rk))->port_resource(0));
     }
     ex.AddResource(w.topo.switch_at(w.core_node())->port_resource(0));
+    ex.AddCounterTracks("metrics/incast", 30, metrics, elapsed);
+    ex.AddLifecycleFlows("lifecycle/incast", 31, lifecycle);
     if (ex.WriteFile("TRACE_incast.json")) {
       std::fprintf(stderr, "wrote TRACE_incast.json (%zu events)\n",
                    ex.event_count());
     }
   }
+  // The tracker and registry die with this frame while the world's teardown
+  // still frees fbufs — detach so destructors never chase a dead observer.
+  w.machine.AttachLifecycle(nullptr);
+  w.machine.AttachMetrics(nullptr);
   return r;
 }
 
@@ -185,6 +233,7 @@ int Main(int argc, char** argv) {
 
   JsonReport json("incast");
   std::string attr_json;
+  std::string lat_section;  // {"<kind>_fanin<N>": {slices...}, ...}
   std::vector<std::vector<PointResult>> results(kinds.size());
   for (std::size_t k = 0; k < kinds.size(); ++k) {
     for (const std::uint32_t fanin : fanins) {
@@ -215,10 +264,17 @@ int Main(int argc, char** argv) {
           .Field("ecn_marks", static_cast<double>(r.ecn_marks))
           .Field("backpressure_parks", static_cast<double>(r.parks))
           .Field("drained", r.drained ? 1.0 : 0.0)
-          .Field("audit_passed", r.audit_passed ? 1.0 : 0.0);
+          .Field("audit_passed", r.audit_passed ? 1.0 : 0.0)
+          .Field("journeys", static_cast<double>(r.journeys))
+          .Field("journeys_ok", r.journeys_ok ? 1.0 : 0.0);
+      lat_section += (lat_section.empty() ? "{\n    " : ",\n    ");
+      lat_section += "\"" + std::string(TransportKindName(r.kind)) + "_fanin" +
+                     std::to_string(r.fanin) + "\": " + r.latency_json;
     }
   }
+  lat_section += "\n  }";
   json.RawSection("time_attribution", attr_json);
+  json.RawSection("latency_decomposition", lat_section);
   json.Write();
 
   // --- Self-checks: collapse vs graceful degradation --------------------------
@@ -237,6 +293,9 @@ int Main(int argc, char** argv) {
       }
       if (!r.audit_passed) {
         fail("post-run audit failed (" + at + ")");
+      }
+      if (!r.journeys_ok || r.journeys == 0) {
+        fail("journey reconciliation failed (" + at + ")");
       }
       if (r.goodput_mbps <= 0) {
         fail("zero goodput (" + at + ")");

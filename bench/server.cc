@@ -35,6 +35,7 @@
 
 #include "bench/bench_util.h"
 #include "src/fault/auditor.h"
+#include "src/obs/lifecycle.h"
 #include "src/obs/trace_export.h"
 #include "src/serve/serve_world.h"
 #include "src/sim/rng.h"
@@ -154,6 +155,11 @@ struct RowResult {
   std::uint64_t pin_blocked_evictions = 0;
   SimTime p50 = 0, p99 = 0, p999 = 0;
   std::string attribution_json;
+  // Fbuf provenance on the server machine: journeys recorded and aborted
+  // (reconciliation itself is a hard check inside RunRow).
+  std::uint64_t journeys = 0;
+  std::uint64_t aborted_journeys = 0;
+  std::string latency_json;  // ServeWorld LatencyDecomposition::ToJson()
 };
 
 RowResult RunRow(const RowSpec& spec) {
@@ -185,7 +191,17 @@ RowResult RunRow(const RowSpec& spec) {
   }
   ServeWorld world(cfg);
 
+  // Provenance and latency sampling ride every row (host-side observers:
+  // attaching them never moves a simulated timestamp). Journeys live on the
+  // server machine, where the sendfile-style pins and cross-domain block
+  // transfers happen.
+  LifecycleTracker lifecycle(&world.server().machine, std::size_t{1} << 18);
+  world.server().machine.AttachLifecycle(&lifecycle);
+  world.EnableLatency();
+  MetricsRegistry metrics;
   if (spec.export_trace) {
+    metrics.EnableTraceSampling();
+    world.server().machine.AttachMetrics(&metrics);
     world.server().machine.trace().SetCapacity(std::size_t{1} << 17);
     world.server().machine.trace().EnableAll();
     world.client(0).machine.trace().SetCapacity(std::size_t{1} << 15);
@@ -210,7 +226,12 @@ RowResult RunRow(const RowSpec& spec) {
       const std::uint64_t restore_at = spec.workload.requests * 7 / 20;
       auto dark = std::make_shared<bool>(false);
       auto tick = std::make_shared<std::function<void()>>();
-      *tick = [&world, link, dark_at, restore_at, dark, tick] {
+      // The watcher captures itself weakly (a strong self-capture would be
+      // a shared_ptr cycle and leak); each scheduled hop holds the strong
+      // reference that keeps the chain alive until the flap ends.
+      std::weak_ptr<std::function<void()>> weak_tick = tick;
+      *tick = [&world, link, dark_at, restore_at, dark, weak_tick] {
+        auto self = weak_tick.lock();
         const std::uint64_t done = world.file_server().completed_requests();
         if (!*dark && done >= dark_at) {
           *dark = true;
@@ -224,7 +245,7 @@ RowResult RunRow(const RowSpec& spec) {
           return;  // flap over; stop watching
         }
         world.loop().Schedule(world.loop().Now() + kMillisecond, "flap-watch",
-                              [tick] { (*tick)(); });
+                              [self] { (*self)(); });
       };
       world.loop().Schedule(0, "flap-watch", [tick] { (*tick)(); });
       break;
@@ -262,6 +283,28 @@ RowResult RunRow(const RowSpec& spec) {
   opts.per_cpu = true;
   r.attribution_json = TimeAttributionJson(world.server().machine, opts);
 
+  // Journey reconciliation next to the §3.3 audit: every ended journey must
+  // close with kFree/kAbort and balance its serve pins. Cache-resident
+  // blocks and the staging fbuf legitimately stay open at quiescence, so
+  // open journeys are not an error here — unbalanced or badly-ended ones
+  // are, as is overflowing the journey cap.
+  const LifecycleTracker::Reconciliation rec = lifecycle.Reconcile();
+  r.journeys = lifecycle.journeys().size();
+  r.aborted_journeys = rec.aborted;
+  if (!rec.passed() || rec.dropped != 0 || r.journeys == 0) {
+    std::fprintf(stderr,
+                 "server[%s]: journey reconciliation failed: journeys=%llu "
+                 "open=%llu pin_imbalance=%llu bad_end=%llu dropped=%llu\n",
+                 spec.variant.c_str(),
+                 static_cast<unsigned long long>(r.journeys),
+                 static_cast<unsigned long long>(rec.open),
+                 static_cast<unsigned long long>(rec.pin_imbalance),
+                 static_cast<unsigned long long>(rec.bad_end),
+                 static_cast<unsigned long long>(rec.dropped));
+    std::abort();
+  }
+  r.latency_json = world.latency().ToJson();
+
   r.server_bytes_copied = world.server().machine.stats().bytes_copied;
   if (!spec.expect_copies && r.server_bytes_copied != 0) {
     std::fprintf(stderr,
@@ -296,6 +339,32 @@ RowResult RunRow(const RowSpec& spec) {
   r.pin_blocked_evictions = world.cache().pin_blocked_evictions();
 
   if (spec.export_trace) {
+    // The acceptance flow: the exported trace must carry at least one
+    // complete cross-domain journey — allocated, transferred across domains,
+    // pinned for the flight, and finally freed — or the provenance story is
+    // broken even if reconciliation balances.
+    bool complete_flow = false;
+    for (const Journey& j : lifecycle.journeys()) {
+      if (!j.ended || j.aborted || j.pins == 0) {
+        continue;
+      }
+      bool transferred = false;
+      for (const LifecycleHop& h : j.hops) {
+        transferred = transferred || h.kind == HopKind::kTransfer ||
+                      h.kind == HopKind::kRingDeliver;
+      }
+      if (transferred) {
+        complete_flow = true;
+        break;
+      }
+    }
+    if (!complete_flow) {
+      std::fprintf(stderr,
+                   "server[%s]: no complete alloc->transfer->pin->free "
+                   "journey in the traced run\n",
+                   spec.variant.c_str());
+      std::abort();
+    }
     TraceExporter ex;
     ex.AddHost(world.server().machine.name(), 1,
                world.server().machine.trace());
@@ -304,16 +373,24 @@ RowResult RunRow(const RowSpec& spec) {
     ex.AddLaneConservation("cpu/" + world.server().machine.name(),
                            world.server().machine.attribution().ByCpu(0),
                            world.server().machine.ElapsedNs());
+    ex.AddCounterTracks("metrics/server", 30, metrics,
+                        world.server().machine.ElapsedNs());
+    ex.AddLifecycleFlows("lifecycle/server", 31, lifecycle);
     const std::string path = "TRACE_server.json";
     if (ex.WriteFile(path)) {
       std::fprintf(stderr, "wrote %s (%zu events)\n", path.c_str(),
                    ex.event_count());
     }
   }
+  // The tracker and registry die with this frame while the world's teardown
+  // still frees fbufs — detach so destructors never chase a dead observer.
+  world.server().machine.AttachLifecycle(nullptr);
+  world.server().machine.AttachMetrics(nullptr);
   return r;
 }
 
-void Report(JsonReport& report, const RowSpec& spec, const RowResult& r) {
+void Report(JsonReport& report, std::string& lat_section, const RowSpec& spec,
+            const RowResult& r) {
   std::printf("%-14s %8llu %9llu %7llu %7llu %9.3f %9.1f %9.1f %10.1f %8.1f\n",
               spec.variant.c_str(),
               static_cast<unsigned long long>(r.stats.requests),
@@ -344,7 +421,11 @@ void Report(JsonReport& report, const RowSpec& spec, const RowResult& r) {
       .Field("server_bytes_copied", static_cast<double>(r.server_bytes_copied))
       .Field("cache_evictions", static_cast<double>(r.cache_evictions))
       .Field("pin_blocked_evictions",
-             static_cast<double>(r.pin_blocked_evictions));
+             static_cast<double>(r.pin_blocked_evictions))
+      .Field("journeys", static_cast<double>(r.journeys))
+      .Field("aborted_journeys", static_cast<double>(r.aborted_journeys));
+  lat_section += (lat_section.empty() ? "{\n    " : ",\n    ");
+  lat_section += "\"" + spec.variant + "\": " + r.latency_json;
 }
 
 int Main(int argc, char** argv) {
@@ -366,6 +447,7 @@ int Main(int argc, char** argv) {
 
   JsonReport report("server");
   std::string attribution_json;
+  std::string lat_section;  // {"<variant>": {slices...}, ...}
 
   // Popularity sweep: the hit ratio (and with it latency and goodput) must
   // ride the Zipf exponent — steeper popularity concentrates the working
@@ -380,7 +462,7 @@ int Main(int argc, char** argv) {
     spec.workload.zipf_quarters = q;
     spec.clients = clients;
     const RowResult r = RunRow(spec);
-    Report(report, spec, r);
+    Report(report, lat_section, spec, r);
     hit_monotone = hit_monotone && r.stats.hit_ratio > prev_hit;
     prev_hit = r.stats.hit_ratio;
     if (q == 4) {
@@ -405,7 +487,7 @@ int Main(int argc, char** argv) {
     // queued behind that, not wedged.
     spec.stall_horizon = (g_smoke ? 2000 : 30000) * kMillisecond;
     const RowResult r = RunRow(spec);
-    Report(report, spec, r);
+    Report(report, lat_section, spec, r);
     if (r.stats.failed != 0) {
       std::fprintf(stderr, "server[rings]: %llu flows failed with no fault\n",
                    static_cast<unsigned long long>(r.stats.failed));
@@ -425,7 +507,7 @@ int Main(int argc, char** argv) {
     spec.max_inflight = 128;
     spec.tight_memory = true;
     spec.expect_copies = true;
-    Report(report, spec, RunRow(spec));
+    Report(report, lat_section, spec, RunRow(spec));
   }
   {
     RowSpec spec;
@@ -435,7 +517,7 @@ int Main(int argc, char** argv) {
     spec.clients = clients;
     spec.fault = RowSpec::Fault::kLinkFlap;
     const RowResult r = RunRow(spec);
-    Report(report, spec, r);
+    Report(report, lat_section, spec, r);
     if (r.stats.pdus_dropped == 0) {
       std::fprintf(stderr, "server[link-flap]: the flap dropped nothing\n");
       std::abort();
@@ -450,7 +532,7 @@ int Main(int argc, char** argv) {
     spec.fault = RowSpec::Fault::kClientChurn;
     spec.export_trace = true;
     const RowResult r = RunRow(spec);
-    Report(report, spec, r);
+    Report(report, lat_section, spec, r);
     if (r.stats.failed == 0) {
       std::fprintf(stderr, "server[client-churn]: no flow failed\n");
       std::abort();
@@ -465,6 +547,7 @@ int Main(int argc, char** argv) {
       "without leaking a single pin or frame (§3.3 audit on every row).\n");
 
   report.RawSection("time_attribution", attribution_json);
+  report.RawSection("latency_decomposition", lat_section + "\n  }");
   report.Write();
   return 0;
 }

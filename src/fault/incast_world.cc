@@ -170,6 +170,12 @@ Status IncastWorld::FabricChannel::Push(Message m) {
         }
         stack_->machine()->clock().AdvanceToAtLeast(arrival);
         Flow& fl = world_->flow(flow_);
+        if (world_->latency_enabled_) {
+          // How late the event loop ran the delivery relative to the frame's
+          // fabric arrival: receiver-side dispatch latency.
+          const SimTime now = stack_->machine()->clock().Now();
+          fl.lat.dispatch.push_back(now >= arrival ? now - arrival : 0);
+        }
         if (marked) {
           // Out-of-band ECN: the mark arrives with the frame (fbufs are
           // immutable in flight — the header cannot be rewritten).
@@ -209,6 +215,13 @@ Status IncastWorld::AckChannel::Push(Message m) {
   return Status::kOk;
 }
 
+void IncastWorld::EnableLatency() {
+  latency_enabled_ = true;
+  for (auto& f : flows_) {
+    f->sender->AttachLatency(&f->lat);
+  }
+}
+
 void IncastWorld::StartProducers(int messages, std::uint64_t bytes) {
   for (auto& fp : flows_) {
     Flow* f = fp.get();
@@ -235,12 +248,24 @@ void IncastWorld::StartProducers(int messages, std::uint64_t bytes) {
         }
         if (Ok(st)) {
           f->accepted++;
+          if (latency_enabled_) {
+            // Admission wait for this message: first refusal to acceptance.
+            // Unparked accepts contribute a zero so count == accepted.
+            const SimTime now = machine.clock().Now();
+            f->lat.queue_wait.push_back(
+                f->waiting && now >= f->wait_start ? now - f->wait_start : 0);
+            f->waiting = false;
+          }
           f->backoff.Progress(loop.Now());
           continue;
         }
         if (!IsBackpressure(st)) {
           f->failed = true;  // hard error: retrying cannot help
           return;
+        }
+        if (latency_enabled_ && !f->waiting) {
+          f->waiting = true;
+          f->wait_start = machine.clock().Now();
         }
         const auto delay = f->backoff.Park(loop.Now());
         if (!delay.has_value()) {

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/latency.h"
 #include "src/pressure/backoff.h"
 #include "src/pressure/pressure.h"
 #include "src/pressure/retransmit_ledger.h"
@@ -176,7 +177,20 @@ class IncastWorld {
     std::uint64_t parks = 0;
     bool failed = false;
     std::function<void()> produce;
+
+    // Per-flow latency decomposition (EnableLatency): the sender transport
+    // feeds wire/retransmit/pin_hold; the producer and the delivery event
+    // feed queue_wait and dispatch.
+    LatencyDecomposition lat;
+    SimTime wait_start = 0;
+    bool waiting = false;
   };
+
+  // Turns on latency-decomposition sampling for every flow (the transports
+  // get AttachLatency, the producers time their backpressure waits). Call
+  // before StartProducers.
+  void EnableLatency();
+  bool latency_enabled() const { return latency_enabled_; }
 
   // Starts every flow's producer: each keeps its window full until
   // |messages| of |bytes| each were accepted, parking on backpressure
@@ -218,6 +232,7 @@ class IncastWorld {
   IncastWorldConfig cfg_;
   std::vector<NodeId> tor_nodes_;
   NodeId core_node_ = kNoNode;
+  bool latency_enabled_ = false;
   std::vector<std::unique_ptr<Flow>> flows_;
 };
 

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/obs/lifecycle.h"
+
 namespace fbufs {
 
 FbufSystem::FbufSystem(Machine* machine, const FbufConfig& config)
@@ -190,6 +192,10 @@ Status FbufSystem::AllocateInternal(Domain& originator, PathId path, std::uint64
         return st;
       }
       a.last_alloc = machine_->clock().Now();
+      if (machine_->lifecycle() != nullptr) {
+        machine_->lifecycle()->OnAlloc(fb->id, originator.id(), bytes,
+                                       /*cache_hit=*/true);
+      }
       *out = fb;
       return Status::kOk;
     }
@@ -240,6 +246,10 @@ Status FbufSystem::AllocateInternal(Domain& originator, PathId path, std::uint64
   machine_->trace().Emit(TraceCategory::kFbuf, "alloc-carve", fb->id, fb->base);
   a.last_alloc = machine_->clock().Now();
   owned_pages_[originator.id()] += pages;
+  if (machine_->lifecycle() != nullptr) {
+    machine_->lifecycle()->OnAlloc(fb->id, originator.id(), bytes,
+                                   /*cache_hit=*/false);
+  }
   *out = fb.get();
   fbufs_.push_back(std::move(fb));
   return Status::kOk;
@@ -422,6 +432,11 @@ Status FbufSystem::Transfer(Fbuf* fb, Domain& from, Domain& to, bool lazy) {
   }
 
   fb->holders.push_back(to.id());
+  if (machine_->lifecycle() != nullptr) {
+    machine_->lifecycle()->Hop(
+        fb->id, HopKind::kTransfer, to.id(), "ipc",
+        (static_cast<std::uint64_t>(from.id()) << 32) | to.id());
+  }
   if (lazy) {
     // Reference only; pages map on first touch via the region fault path.
     return Status::kOk;
@@ -443,6 +458,10 @@ Status FbufSystem::Transfer(Fbuf* fb, Domain& from, Domain& to, bool lazy) {
       }
     }
     fb->mapped.push_back(to.id());
+    if (machine_->lifecycle() != nullptr) {
+      machine_->lifecycle()->Hop(fb->id, HopKind::kMaterialize, to.id(), "fbuf",
+                                 fb->pages);
+    }
   }
   return Status::kOk;
 }
@@ -596,6 +615,9 @@ void FbufSystem::DeliverNotices(DomainId from, DomainId to) {
   for (FbufId id : ids) {
     Fbuf* fb = fbufs_[id].get();
     if (!fb->dead) {
+      if (machine_->lifecycle() != nullptr) {
+        machine_->lifecycle()->Hop(fb->id, HopKind::kNotice, to, "ipc", from);
+      }
       ReturnToOwner(fb);
     }
   }
@@ -616,12 +638,26 @@ void FbufSystem::ApplyRingNotice(DomainId holder, DomainId owner, FbufId id) {
   LayerScope layer(machine_->attribution(), CostDomain::kFbuf);
   ActorScope actor(machine_->attribution(), owner);
   PathScope pscope(machine_->attribution(), fb->path);
+  if (machine_->lifecycle() != nullptr) {
+    machine_->lifecycle()->Hop(fb->id, HopKind::kNotice, owner, "ring", holder);
+  }
   ReturnToOwner(fb);
 }
 
 void FbufSystem::ReturnToOwner(Fbuf* fb) {
   assert(fb->holders.empty());
   machine_->trace().Emit(TraceCategory::kFbuf, "return-to-owner", fb->id, fb->base);
+  if (machine_->lifecycle() != nullptr) {
+    // A drain into a terminated originator is the tail of the §3.3 sweep
+    // (survivors held references past the axe): the journey was cut short
+    // by the termination, so it ends in an abort hop, not a normal free.
+    Domain* owner = machine_->domain(fb->originator);
+    if (owner == nullptr || !owner->alive()) {
+      machine_->lifecycle()->OnAbort(fb->id, fb->originator, "fbuf");
+    } else {
+      machine_->lifecycle()->OnFree(fb->id, fb->originator, "fbuf");
+    }
+  }
   // A freed fbuf's contents are dead: any paged-out copies go with them.
   DropSwap(fb->id);
   RestoreOriginatorWrite(fb);
@@ -821,24 +857,36 @@ void FbufSystem::OnDomainTerminated(Domain& d) {
       fb->mapped.erase(mit);
     }
     if (released && fb->holders.empty()) {
+      // The kernel released the dying domain's last hold: the journey ends in
+      // an abort hop, not a normal free (Reconcile exempts aborted journeys
+      // from pin balance — their releases can never be recorded).
+      if (machine_->lifecycle() != nullptr) {
+        machine_->lifecycle()->OnAbort(fb->id, d.id(), "fbuf");
+      }
       ReturnToOwner(fb);
     }
   }
-  // 4. Drop pending notices involving the dead domain: deliver those it owed
-  //    to owners; discard those owed to it (its fbufs were destroyed above).
+  // 4. Settle pending notices involving the dead domain: deliver those it
+  //    owed to (live) owners, and drain those owed to it — a notice-parked
+  //    fbuf has zero holders and is not free-listed, so nothing else will
+  //    ever return it; dropping the list would strand its pages forever.
+  //    The drain destroys them (the dead owner's allocators are defunct)
+  //    and the provenance record shows the abort.
   for (auto& [pair, list] : pending_notices_) {
-    if (pair.first == d.id() && !list.empty()) {
+    if ((pair.first == d.id() || pair.second == d.id()) && !list.empty()) {
       std::vector<FbufId> ids;
       ids.swap(list);
       for (FbufId id : ids) {
         Fbuf* fb = fbufs_[id].get();
         if (!fb->dead && fb->holders.empty()) {
+          // MarkDead runs after these hooks, so ReturnToOwner would still
+          // see the dying owner as alive — record the abort explicitly.
+          if (pair.second == d.id() && machine_->lifecycle() != nullptr) {
+            machine_->lifecycle()->OnAbort(fb->id, d.id(), "fbuf");
+          }
           ReturnToOwner(fb);
         }
       }
-    }
-    if (pair.second == d.id()) {
-      list.clear();
     }
   }
 }
@@ -884,6 +932,10 @@ std::uint64_t FbufSystem::PageOutFbuf(Fbuf* fb, std::uint64_t max_pages) {
     machine_->stats().pages_swapped_out++;
     swapped++;
   }
+  if (swapped > 0 && machine_->lifecycle() != nullptr) {
+    machine_->lifecycle()->Hop(fb->id, HopKind::kPageOut, fb->originator,
+                               "pressure", swapped);
+  }
   return swapped;
 }
 
@@ -903,6 +955,10 @@ Status FbufSystem::PageIn(Domain& d, Vpn vpn, Fbuf* fb) {
   m.trace().Emit(TraceCategory::kFbuf, "page-in", fb->id, AddrOf(vpn));
   m.clock().Advance(m.costs().page_fault_ns);
   m.stats().page_faults++;
+  if (m.lifecycle() != nullptr) {
+    m.lifecycle()->Hop(fb->id, HopKind::kPageIn, d.id(), "pressure",
+                       AddrOf(vpn));
+  }
 
   const std::uint64_t index = vpn - PageOf(fb->base);
   Domain* orig = m.domain(fb->originator);

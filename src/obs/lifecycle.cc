@@ -1,0 +1,154 @@
+#include "src/obs/lifecycle.h"
+
+#include "src/vm/machine.h"
+
+namespace fbufs {
+
+const char* HopKindName(HopKind k) {
+  switch (k) {
+    case HopKind::kAlloc:
+      return "alloc";
+    case HopKind::kMaterialize:
+      return "materialize";
+    case HopKind::kTransfer:
+      return "transfer";
+    case HopKind::kRingSubmit:
+      return "ring-submit";
+    case HopKind::kRingDeliver:
+      return "ring-deliver";
+    case HopKind::kPin:
+      return "pin";
+    case HopKind::kUnpin:
+      return "unpin";
+    case HopKind::kPageOut:
+      return "pageout";
+    case HopKind::kPageIn:
+      return "pagein";
+    case HopKind::kDegradeCopy:
+      return "degrade-copy";
+    case HopKind::kNotice:
+      return "notice";
+    case HopKind::kFree:
+      return "free";
+    case HopKind::kAbort:
+      return "abort";
+    case HopKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+LifecycleTracker::LifecycleTracker(Machine* machine, std::size_t max_journeys)
+    : machine_(machine), max_journeys_(max_journeys) {}
+
+void LifecycleTracker::Stamp(LifecycleHop* hop) {
+  hop->time = machine_->clock().Now();
+  hop->cpu = machine_->active_cpu();
+}
+
+Journey* LifecycleTracker::Open(FbufId fb) {
+  auto it = open_.find(fb);
+  return it == open_.end() ? nullptr : &journeys_[it->second];
+}
+
+void LifecycleTracker::OnAlloc(FbufId fb, DomainId domain, std::uint64_t bytes,
+                               bool cache_hit) {
+  if (Journey* stale = Open(fb)) {
+    // A missed free would cross-wire two allocation instances; close the
+    // stale journey (flagged by its bad end in Reconcile) and start clean.
+    stale->ended = true;
+    open_.erase(fb);
+  }
+  if (journeys_.size() >= max_journeys_) {
+    dropped_++;
+    return;
+  }
+  Journey j;
+  j.id = next_id_++;
+  j.fbuf = fb;
+  j.bytes = bytes;
+  j.originator = domain;
+  LifecycleHop hop;
+  Stamp(&hop);
+  hop.kind = HopKind::kAlloc;
+  hop.domain = domain;
+  hop.layer = cache_hit ? "fbuf:cached" : "fbuf:carve";
+  hop.arg = bytes;
+  j.hops.push_back(hop);
+  total_hops_++;
+  open_[fb] = journeys_.size();
+  journeys_.push_back(std::move(j));
+}
+
+void LifecycleTracker::Hop(FbufId fb, HopKind kind, DomainId domain,
+                           const char* layer, std::uint64_t arg) {
+  Journey* j = Open(fb);
+  if (j == nullptr) {
+    return;
+  }
+  LifecycleHop hop;
+  Stamp(&hop);
+  hop.kind = kind;
+  hop.domain = domain;
+  hop.layer = layer;
+  hop.arg = arg;
+  j->hops.push_back(hop);
+  total_hops_++;
+  if (kind == HopKind::kPin) {
+    j->pins++;
+  } else if (kind == HopKind::kUnpin) {
+    j->unpins++;
+  }
+}
+
+void LifecycleTracker::End(FbufId fb, DomainId domain, const char* layer,
+                           bool abort) {
+  Journey* j = Open(fb);
+  if (j == nullptr) {
+    return;
+  }
+  LifecycleHop hop;
+  Stamp(&hop);
+  hop.kind = abort ? HopKind::kAbort : HopKind::kFree;
+  hop.domain = domain;
+  hop.layer = layer;
+  j->hops.push_back(hop);
+  total_hops_++;
+  j->ended = true;
+  j->aborted = abort;
+  open_.erase(fb);
+}
+
+void LifecycleTracker::OnFree(FbufId fb, DomainId domain, const char* layer) {
+  End(fb, domain, layer, /*abort=*/false);
+}
+
+void LifecycleTracker::OnAbort(FbufId fb, DomainId domain, const char* layer) {
+  End(fb, domain, layer, /*abort=*/true);
+}
+
+LifecycleTracker::Reconciliation LifecycleTracker::Reconcile() const {
+  Reconciliation r;
+  r.dropped = dropped_;
+  for (const Journey& j : journeys_) {
+    if (!j.ended) {
+      r.open++;
+      continue;
+    }
+    if (j.aborted) {
+      r.aborted++;
+    } else {
+      r.ended++;
+      if (j.pins != j.unpins) {
+        r.pin_imbalance++;
+      }
+    }
+    if (j.hops.empty() || (j.hops.back().kind != HopKind::kFree &&
+                           j.hops.back().kind != HopKind::kAbort)) {
+      r.bad_end++;
+    }
+  }
+  return r;
+}
+
+}  // namespace fbufs

@@ -1,0 +1,144 @@
+// Fbuf provenance: the lifecycle tracker records every state transition of
+// every fbuf as a *journey* — allocate, map/TLB materialize, cross-domain
+// transfer (sync IPC or ring handoff), retransmit/serve pins, pageout,
+// degradation copies, and the final dealloc — each hop stamped with
+// (SimTime, domain, CPU lane, layer).
+//
+// Identity: FbufId values are recycled through the per-(domain, path) free
+// lists, so a journey is keyed by *allocation instance*, not by id. OnAlloc
+// opens a journey and maps the id to it; OnFree / OnAbort close the journey
+// and drop the mapping, so the next allocation of the same id opens a fresh
+// journey. Hops on an id with no open journey are ignored (a tracker
+// attached mid-run sees only journeys born after it).
+//
+// Provenance is a *checked* invariant, not best-effort logging: Reconcile()
+// verifies that every ended journey is properly terminated (last hop kFree,
+// or kAbort for a journey torn down with its domain) and that every
+// recorded pin on a normally-ended journey has a recorded release. The
+// fault campaigns run it next to the InvariantAuditor after every run.
+//
+// Export: TraceExporter::AddLifecycleFlows renders each journey as Chrome
+// flow events ('s'/'t'/'f' arrows across per-domain lanes), so one fbuf's
+// path through the host reads directly off the Perfetto timeline.
+#ifndef SRC_OBS_LIFECYCLE_H_
+#define SRC_OBS_LIFECYCLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/fbuf/fbuf.h"
+#include "src/sim/clock.h"
+#include "src/vm/types.h"
+
+namespace fbufs {
+
+class Machine;
+
+// One state transition in a journey. The layer is the subsystem that drove
+// the transition (static strings: "fbuf", "ipc", "ring", "proto", "serve",
+// "pressure"), matching the hook's home in the source tree.
+enum class HopKind : std::uint8_t {
+  kAlloc = 0,     // journey opens (arg: bytes; cache hit vs carve in layer arg)
+  kMaterialize,   // mapping / TLB entries built in a receiving domain
+  kTransfer,      // cross-domain reference transfer (sync IPC path)
+  kRingSubmit,    // handoff descriptor written into a transfer-ring SQ
+  kRingDeliver,   // descriptor drained by the consumer (body ran)
+  kPin,           // retained against reclaim (RetransmitLedger / FileServer)
+  kUnpin,         // pin released (ack arrived / dealloc notice returned)
+  kPageOut,       // pressure sweep moved the pages to backing store
+  kPageIn,        // faulted back in from backing store
+  kDegradeCopy,   // degraded path staged a copy instead of a reference
+  kNotice,        // §3.3 dealloc notice applied (piggyback or ring)
+  kFree,          // journey ends: final release back to the owner
+  kAbort,         // journey ends: domain termination force-released it
+  kCount,
+};
+
+const char* HopKindName(HopKind k);
+
+struct LifecycleHop {
+  SimTime time = 0;
+  HopKind kind = HopKind::kAlloc;
+  DomainId domain = kInvalidDomainId;
+  std::uint32_t cpu = 0;
+  const char* layer = "";  // static string supplied by the hook site
+  std::uint64_t arg = 0;   // bytes, peer domain, seq, request id — per kind
+};
+
+struct Journey {
+  std::uint64_t id = 0;  // unique per allocation instance, never recycled
+  FbufId fbuf = kInvalidFbufId;
+  std::uint64_t bytes = 0;
+  DomainId originator = kInvalidDomainId;
+  bool ended = false;
+  bool aborted = false;
+  std::uint32_t pins = 0;
+  std::uint32_t unpins = 0;
+  std::vector<LifecycleHop> hops;
+};
+
+class LifecycleTracker {
+ public:
+  // |max_journeys| bounds memory: once reached, new allocations are counted
+  // (dropped_journeys) but not recorded. Reconcile only covers recorded
+  // journeys, so a capped run is still internally consistent.
+  explicit LifecycleTracker(Machine* machine,
+                            std::size_t max_journeys = 1 << 16);
+
+  LifecycleTracker(const LifecycleTracker&) = delete;
+  LifecycleTracker& operator=(const LifecycleTracker&) = delete;
+
+  // Opens a journey for a fresh allocation instance of |fb|. If the id is
+  // somehow still mapped (a missed free), the stale journey is force-ended
+  // so bookkeeping self-heals rather than cross-wiring two allocations.
+  void OnAlloc(FbufId fb, DomainId domain, std::uint64_t bytes,
+               bool cache_hit);
+
+  // Records a mid-journey hop on the open journey of |fb| (no-op when none).
+  // kPin / kUnpin additionally bump the journey's pin counters.
+  void Hop(FbufId fb, HopKind kind, DomainId domain, const char* layer,
+           std::uint64_t arg = 0);
+
+  // Ends the journey: the fbuf returned to its owner (free list or destroy).
+  void OnFree(FbufId fb, DomainId domain, const char* layer);
+
+  // Ends the journey with an abort hop: the §3.3 termination sweep
+  // force-released the dying domain's hold.
+  void OnAbort(FbufId fb, DomainId domain, const char* layer);
+
+  // --- Reconciliation ---------------------------------------------------------
+  struct Reconciliation {
+    std::uint64_t open = 0;           // journeys still in flight
+    std::uint64_t ended = 0;          // journeys that closed normally
+    std::uint64_t aborted = 0;        // journeys closed by domain termination
+    std::uint64_t pin_imbalance = 0;  // ended (non-abort) with pins != unpins
+    std::uint64_t bad_end = 0;        // ended journeys not ending kFree/kAbort
+    std::uint64_t dropped = 0;        // allocations past the journey cap
+    bool passed() const { return pin_imbalance == 0 && bad_end == 0; }
+  };
+  Reconciliation Reconcile() const;
+
+  const std::deque<Journey>& journeys() const { return journeys_; }
+  std::size_t open_count() const { return open_.size(); }
+  std::uint64_t total_hops() const { return total_hops_; }
+  std::uint64_t dropped_journeys() const { return dropped_; }
+
+ private:
+  Journey* Open(FbufId fb);
+  void Stamp(LifecycleHop* hop);
+  void End(FbufId fb, DomainId domain, const char* layer, bool abort);
+
+  Machine* machine_;
+  std::size_t max_journeys_;
+  std::deque<Journey> journeys_;
+  std::map<FbufId, std::size_t> open_;  // fbuf id -> index into journeys_
+  std::uint64_t next_id_ = 1;
+  std::uint64_t total_hops_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace fbufs
+
+#endif  // SRC_OBS_LIFECYCLE_H_

@@ -90,9 +90,10 @@ class Histogram {
   std::uint64_t max() const { return max_; }
   std::uint64_t bucket(int b) const { return buckets_[b]; }
 
-  // Smallest bucket upper bound such that at least |q| (0..1) of the
-  // observations fall at or below it. A log-scale quantile: coarse but
-  // deterministic and allocation-free.
+  // Log-bucket quantile estimate: finds the bucket where cumulative count
+  // crosses q * count, interpolates linearly inside it, and clamps to the
+  // observed [min, max]. q <= 0 returns min, q >= 1 returns max, an empty
+  // histogram returns 0. Deterministic and allocation-free.
   std::uint64_t ApproxQuantile(double q) const;
 
  private:

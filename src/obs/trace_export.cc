@@ -2,6 +2,9 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <map>
+
+#include "src/obs/lifecycle.h"
 
 namespace fbufs {
 
@@ -144,6 +147,60 @@ void TraceExporter::AddCounterTracks(const std::string& name, std::uint32_t pid,
   }
 }
 
+void TraceExporter::AddLifecycleFlows(const std::string& name,
+                                      std::uint32_t pid,
+                                      const LifecycleTracker& tracker) {
+  AppendMeta(pid, 0, "process_name", name);
+  // One lane per domain, allocated in first-encounter order across the
+  // deterministic journey sequence, so same-seed exports stay identical.
+  std::map<DomainId, std::uint32_t> lanes;
+  auto lane = [&](DomainId d) {
+    auto it = lanes.find(d);
+    if (it != lanes.end()) {
+      return it->second;
+    }
+    const std::uint32_t tid = static_cast<std::uint32_t>(lanes.size());
+    lanes.emplace(d, tid);
+    AppendMeta(pid, tid, "thread_name", "domain" + std::to_string(d));
+    return tid;
+  };
+  for (const Journey& j : tracker.journeys()) {
+    const std::size_t n = j.hops.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const LifecycleHop& hop = j.hops[i];
+      const std::uint32_t tid = lane(hop.domain);
+      // The hop slice: a fixed-width marker the flow arrows can bind to
+      // (Chrome flow events attach to the slice enclosing their timestamp).
+      ExportEvent x;
+      x.pid = pid;
+      x.tid = tid;
+      x.ts = hop.time;
+      x.dur = 1000;
+      x.ph = 'X';
+      x.name = HopKindName(hop.kind);
+      x.cat = "lifecycle";
+      x.args = "\"journey\":" + std::to_string(j.id) +
+               ",\"fbuf\":" + std::to_string(j.fbuf) +
+               ",\"layer\":\"" + Escape(hop.layer) +
+               "\",\"cpu\":" + std::to_string(hop.cpu) +
+               ",\"arg\":" + std::to_string(hop.arg);
+      events_.push_back(std::move(x));
+      if (n < 2) {
+        continue;  // a single-hop journey has no arrow to draw
+      }
+      ExportEvent f;
+      f.pid = pid;
+      f.tid = tid;
+      f.ts = hop.time;
+      f.ph = i == 0 ? 's' : (i + 1 == n ? 'f' : 't');
+      f.name = "fbuf-journey";
+      f.cat = "lifecycle";
+      f.flow_id = j.id;
+      events_.push_back(std::move(f));
+    }
+  }
+}
+
 void TraceExporter::AddLaneConservation(const std::string& lane_name,
                                         SimTime busy, SimTime elapsed) {
   const std::uint32_t tid = next_lane_tid_++;
@@ -195,6 +252,15 @@ std::string TraceExporter::ToJson() const {
       // Thread-scoped instants; markers read better process-wide but "t"
       // keeps them on their category lane.
       out += ",\"s\":\"t\"";
+    }
+    if (e.ph == 's' || e.ph == 't' || e.ph == 'f') {
+      out += ",\"id\":";
+      out += std::to_string(e.flow_id);
+      if (e.ph == 'f') {
+        // Bind the terminating arrow to the enclosing slice, matching the
+        // 's'/'t' steps (Chrome's bp:"e" flow-end convention).
+        out += ",\"bp\":\"e\"";
+      }
     }
     if (!e.cat.empty()) {
       out += ",\"cat\":\"";

@@ -25,6 +25,8 @@
 
 namespace fbufs {
 
+class LifecycleTracker;
+
 class TraceExporter {
  public:
   // Adds one host's trace ring as a process lane group. |pid| must be unique
@@ -43,6 +45,14 @@ class TraceExporter {
   // Iteration is in name order, so export stays deterministic.
   void AddCounterTracks(const std::string& name, std::uint32_t pid,
                         const MetricsRegistry& metrics, SimTime final_ts);
+
+  // Renders every journey the tracker recorded as Chrome flow events under
+  // process |pid| named |name|: one lane (tid) per domain, a short "X" slice
+  // per hop (named after the hop kind, args carry journey/fbuf/layer/cpu),
+  // and an 's'/'t'/'f' flow chain with id = journey id binding the hops, so
+  // one fbuf's path renders as arrows across the domain lanes in Perfetto.
+  void AddLifecycleFlows(const std::string& name, std::uint32_t pid,
+                         const LifecycleTracker& tracker);
 
   // One "lane_conservation" instant at |elapsed| for CPU lane |lane_name|:
   // args carry busy/idle/elapsed so tools/validate_traces.py can re-check
@@ -64,10 +74,11 @@ class TraceExporter {
     std::uint32_t tid = 0;
     SimTime ts = 0;
     SimTime dur = 0;         // "X" events only
-    char ph = 'i';           // B, E, i, X, M
+    char ph = 'i';           // B, E, i, X, M, C, s, t, f
     std::string name;
     std::string args;        // pre-rendered JSON object body, may be empty
     std::string cat;
+    std::uint64_t flow_id = 0;  // 's'/'t'/'f' events only
   };
 
   void AppendMeta(std::uint32_t pid, std::uint32_t tid, const char* what,

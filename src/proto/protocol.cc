@@ -3,6 +3,7 @@
 #include <cassert>
 #include <vector>
 
+#include "src/obs/lifecycle.h"
 #include "src/ring/ring_hub.h"
 
 namespace fbufs {
@@ -102,6 +103,12 @@ Status ProtocolStack::DeliverRinged(const Message& m, Protocol* to, bool down,
       [this, m, to, down, dstp] {
         LayerScope layer(machine_->attribution(), CostDomain::kProto);
         ActorScope actor(machine_->attribution(), dstp->id());
+        if (machine_->lifecycle() != nullptr) {
+          for (Fbuf* fb : m.Fbufs()) {
+            machine_->lifecycle()->Hop(fb->id, HopKind::kRingDeliver,
+                                       dstp->id(), "ring");
+          }
+        }
         const Status st = down ? to->Push(m) : to->Pop(m);
         const Status free_st = FreeMessage(m, *dstp);
         return Ok(st) ? free_st : st;
@@ -117,6 +124,12 @@ Status ProtocolStack::DeliverRinged(const Message& m, Protocol* to, bool down,
     // retryable status (FlowBackoff::IsBackpressure) to the caller.
     FreeMessage(m, dst);
     return sub;
+  }
+  if (machine_->lifecycle() != nullptr) {
+    for (Fbuf* fb : fbufs) {
+      machine_->lifecycle()->Hop(fb->id, HopKind::kRingSubmit, src.id(), "ring",
+                                 dst.id());
+    }
   }
   return Status::kOk;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/lifecycle.h"
+
 namespace fbufs {
 
 Transport::Transport(std::string name, Domain* domain, ProtocolStack* stack,
@@ -26,6 +28,9 @@ Status Transport::TransmitData(std::uint32_t seq, const Message& m) {
   TraceSpan span(machine.trace(), TraceCategory::kProto, span_send_.c_str(),
                  seq, m.length());
   send_time_[seq] = machine.clock().Now();
+  if (lat_ != nullptr && first_tx_.count(seq) == 0) {
+    first_tx_[seq] = send_time_[seq];
+  }
   machine.clock().Advance(machine.costs().proto_pdu_ns);
   Fbuf* hdr_fb = nullptr;
   Status st = stack_->fsys()->Allocate(*domain(), hdr_path_, header_bytes(),
@@ -111,8 +116,20 @@ Status Transport::Push(Message m) {
   }
   const std::uint32_t seq = next_seq_++;
   outstanding_[seq] = m;
+  Machine& machine = *stack_->machine();
   if (ledger_ != nullptr) {
-    ledger_->Pin(seq, m.Fbufs(), stack_->machine()->clock().Now());
+    ledger_->Pin(seq, m.Fbufs(), machine.clock().Now());
+  }
+  if (machine.lifecycle() != nullptr) {
+    // The retained reference is the paper's retransmit pin — record it even
+    // when no ledger audits this flow.
+    for (Fbuf* fb : m.Fbufs()) {
+      machine.lifecycle()->Hop(fb->id, HopKind::kPin, domain()->id(), "proto",
+                               seq);
+    }
+  }
+  if (lat_ != nullptr) {
+    pushed_time_[seq] = machine.clock().Now();
   }
   st = TransmitData(seq, m);
   if (Ok(st)) {
@@ -223,13 +240,40 @@ Status Transport::Pop(Message m) {
     std::uint32_t newly_acked = 0;
     while (!outstanding_.empty() && outstanding_.begin()->first < h.seq) {
       const std::uint32_t acked = outstanding_.begin()->first;
+      const SimTime now = machine.clock().Now();
       const auto sent = send_time_.find(acked);
       if (sent != send_time_.end()) {
-        if (machine.metrics() != nullptr && machine.clock().Now() >= sent->second) {
+        if (machine.metrics() != nullptr && now >= sent->second) {
           machine.metrics()->GetHistogram(rtt_metric_)
-              ->Observe(machine.clock().Now() - sent->second);
+              ->Observe(now - sent->second);
+        }
+        if (lat_ != nullptr) {
+          const SimTime last_tx = sent->second;
+          if (now >= last_tx) {
+            lat_->wire.push_back(now - last_tx);
+          }
+          const auto ftx = first_tx_.find(acked);
+          if (ftx != first_tx_.end()) {
+            if (last_tx >= ftx->second) {
+              lat_->retransmit.push_back(last_tx - ftx->second);
+            }
+            first_tx_.erase(ftx);
+          }
+          const auto pushed = pushed_time_.find(acked);
+          if (pushed != pushed_time_.end()) {
+            if (now >= pushed->second) {
+              lat_->pin_hold.push_back(now - pushed->second);
+            }
+            pushed_time_.erase(pushed);
+          }
         }
         send_time_.erase(sent);
+      }
+      if (machine.lifecycle() != nullptr) {
+        for (Fbuf* fb : outstanding_.begin()->second.Fbufs()) {
+          machine.lifecycle()->Hop(fb->id, HopKind::kUnpin, domain()->id(),
+                                   "proto", acked);
+        }
       }
       const Status free_st = stack_->FreeMessage(outstanding_.begin()->second, *domain());
       if (!Ok(free_st)) {
@@ -302,7 +346,15 @@ Status Transport::Shutdown() {
     timer_pending_ = false;
   }
   Status st = Status::kOk;
+  Machine& machine = *stack_->machine();
   for (auto& [seq, m] : outstanding_) {
+    if (machine.lifecycle() != nullptr) {
+      // Orderly close: the retained pins are released here, not by an ack.
+      for (Fbuf* fb : m.Fbufs()) {
+        machine.lifecycle()->Hop(fb->id, HopKind::kUnpin, domain()->id(),
+                                 "proto", seq);
+      }
+    }
     const Status free_st = stack_->FreeMessage(m, *domain());
     if (Ok(st) && !Ok(free_st)) {
       st = free_st;
@@ -310,6 +362,8 @@ Status Transport::Shutdown() {
   }
   outstanding_.clear();
   send_time_.clear();
+  pushed_time_.clear();
+  first_tx_.clear();
   for (auto& [seq, m] : stash_) {
     const Status free_st = stack_->FreeMessage(m, *domain());
     if (Ok(st) && !Ok(free_st)) {
@@ -332,9 +386,13 @@ void Transport::OnFlowAbort() {
   }
   // The §3.3 domain cleanup already dropped every reference this domain held
   // (fbufs were unmapped and unreffed when it died) — freeing here would
-  // double-free. Forget the bookkeeping only.
+  // double-free. Forget the bookkeeping only. The lifecycle journeys of the
+  // pinned fbufs were already closed (abort hops) by the §3.3 sweep, which
+  // runs before this hook — recording unpins here would hit ended journeys.
   outstanding_.clear();
   send_time_.clear();
+  pushed_time_.clear();
+  first_tx_.clear();
   stash_.clear();
   if (ledger_ != nullptr) {
     ledger_->ReclaimAll();

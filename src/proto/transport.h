@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/latency.h"
 #include "src/pressure/retransmit_ledger.h"
 #include "src/proto/protocol.h"
 #include "src/sim/event_loop.h"
@@ -258,6 +259,12 @@ class Transport : public Protocol {
   void AttachLedger(RetransmitLedger* ledger) { ledger_ = ledger; }
   RetransmitLedger* ledger() const { return ledger_; }
 
+  // Optional latency-decomposition sink (src/obs/latency.h). When attached,
+  // every acknowledged PDU contributes wire (last-tx→ack), retransmit
+  // (first-tx→last-tx) and pin_hold (push→ack) samples.
+  void AttachLatency(LatencyDecomposition* lat) { lat_ = lat; }
+  LatencyDecomposition* latency() const { return lat_; }
+
   // --- Receiver side -----------------------------------------------------------
   // Handles an arriving frame: data frames are acknowledged (cumulative)
   // and delivered upward in order; ack frames release retained references.
@@ -358,6 +365,12 @@ class Transport : public Protocol {
   // Retransmission restamps the frame (Karn-style: a retransmitted frame's
   // sample measures its latest transmission, not the first).
   std::map<std::uint32_t, SimTime> send_time_;
+
+  // Latency-decomposition bookkeeping, maintained only while lat_ is
+  // attached: when the PDU entered Push and when it first hit the wire.
+  LatencyDecomposition* lat_ = nullptr;
+  std::map<std::uint32_t, SimTime> pushed_time_;
+  std::map<std::uint32_t, SimTime> first_tx_;
 
   // Receiver-side ECN state: a mark arrived with the frame about to Pop.
   bool pending_ece_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/obs/lifecycle.h"
 #include "src/pressure/backoff.h"
 #include "src/sim/trace.h"
 
@@ -58,7 +59,19 @@ Status FileServer::Pop(Message m) {
       // the transfer is outstanding. The block is resident (we just read
       // it), so Pin cannot fail.
       cache_->Pin(req.file, b);
-      fl.pins.emplace_back(req.file, b);
+      PinRecord rec;
+      rec.file = req.file;
+      rec.block = b;
+      rec.pinned_at = machine.clock().Now();
+      const std::vector<Fbuf*> block_fbufs = bm.Fbufs();
+      if (!block_fbufs.empty()) {
+        rec.fbuf = block_fbufs.front()->id;
+      }
+      if (machine.lifecycle() != nullptr && rec.fbuf != kInvalidFbufId) {
+        machine.lifecycle()->Hop(rec.fbuf, HopKind::kPin, domain()->id(),
+                                 "serve", req.id);
+      }
+      fl.pins.push_back(rec);
       st = SendDown(bm);
       // Our own read reference drops now; the wire keeps the block alive
       // via the pin, not via a serve-domain mapping.
@@ -158,6 +171,10 @@ Status FileServer::ServeDegraded(FileId file, std::uint64_t block) {
   }
   machine.stats().bytes_copied += bytes;
   machine.stats().degraded_pdus += 1;
+  if (machine.lifecycle() != nullptr) {
+    machine.lifecycle()->Hop(staging_->id, HopKind::kDegradeCopy,
+                             domain()->id(), "serve", block);
+  }
   return SendDown(Message::Leaf(staging_, 0, bytes));
 }
 
@@ -166,8 +183,17 @@ void FileServer::ReleasePins(std::uint64_t request_id) {
   if (it == inflight_.end()) {
     return;
   }
-  for (const auto& [file, block] : it->second.pins) {
-    cache_->Unpin(file, block);
+  Machine& machine = *stack_->machine();
+  const SimTime now = machine.clock().Now();
+  for (const PinRecord& rec : it->second.pins) {
+    cache_->Unpin(rec.file, rec.block);
+    if (machine.lifecycle() != nullptr && rec.fbuf != kInvalidFbufId) {
+      machine.lifecycle()->Hop(rec.fbuf, HopKind::kUnpin, domain()->id(),
+                               "serve", request_id);
+    }
+    if (lat_ != nullptr && now >= rec.pinned_at) {
+      lat_->pin_hold.push_back(now - rec.pinned_at);
+    }
   }
   inflight_.erase(it);
 }

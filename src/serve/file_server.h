@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/cache/file_cache.h"
+#include "src/obs/latency.h"
 #include "src/pressure/pressure.h"
 #include "src/proto/protocol.h"
 #include "src/serve/request.h"
@@ -68,6 +69,10 @@ class FileServer : public Protocol {
   // definition failing.
   void AttachPressure(PressureManager* pressure, PathId staging_path);
 
+  // Optional latency sink: every released pin contributes a pin_hold sample
+  // (pin at serve time → release at the flow's dealloc notice / abort).
+  void AttachLatency(LatencyDecomposition* lat) { lat_ = lat; }
+
   Status Push(Message) override { return Status::kInvalidArgument; }
   // One GET request: parse, then serve each block by reference (pin ->
   // SendDown -> release our refs; the pin outlives Pop).
@@ -92,9 +97,15 @@ class FileServer : public Protocol {
   std::uint64_t inflight_requests() const { return inflight_.size(); }
 
  private:
+  struct PinRecord {
+    FileId file = 0;
+    std::uint64_t block = 0;
+    FbufId fbuf = kInvalidFbufId;  // the pinned block's fbuf (provenance)
+    SimTime pinned_at = 0;
+  };
   struct Inflight {
     std::uint32_t client = 0;
-    std::vector<std::pair<FileId, std::uint64_t>> pins;
+    std::vector<PinRecord> pins;
   };
 
   // Allocates the persistent staging fbuf if it is not already held.
@@ -104,6 +115,7 @@ class FileServer : public Protocol {
   void ReleasePins(std::uint64_t request_id);
 
   FileCache* cache_;
+  LatencyDecomposition* lat_ = nullptr;
   PressureManager* pressure_ = nullptr;
   PathId staging_path_ = kNoPath;
   Fbuf* staging_ = nullptr;

@@ -161,6 +161,12 @@ void ServeWorld::Issue(const ServeRequestSpec& spec) {
   p.backoff.policy = cfg_.backoff;
   p.backoff.stall_horizon = cfg_.stall_horizon;
   p.backoff.last_progress = loop_.Now();
+  if (latency_enabled_) {
+    // Admission wait: nominal arrival to issue (zero unless the inflight
+    // window pushed the request through the overflow queue).
+    lat_.queue_wait.push_back(loop_.Now() >= spec.at ? loop_.Now() - spec.at
+                                                     : 0);
+  }
   pending_.emplace(id, std::move(p));
   inflight_++;
   stats_.requests++;
@@ -321,6 +327,11 @@ void ServeWorld::WirePdu(std::uint64_t id, SimHost::StagedPdu pdu) {
     return;
   }
   const SimTime rx_dma_done = rx.adapter.RxDma(wire_bytes, out.arrival);
+  if (latency_enabled_ && rx_dma_done >= pdu.ready) {
+    // Staged-at-driver to RX-DMA-complete: TX DMA + cells on the wire + RX
+    // DMA — the PDU's whole time on the network path.
+    lat_.wire.push_back(rx_dma_done - pdu.ready);
+  }
   std::vector<std::uint8_t> reassembled;
   Status cell_st = Status::kExhausted;
   for (const AtmCell& cell : cells) {
@@ -351,6 +362,10 @@ void ServeWorld::DeliverPduEvent(std::uint64_t id,
   // may already be past that point serving another delivery.
   clock.AdvanceToAtLeast(rx_dma_done);
   const SimTime before = clock.Now();
+  if (latency_enabled_ && before >= rx_dma_done) {
+    // How far past DMA completion the client CPU got around to the PDU.
+    lat_.dispatch.push_back(before - rx_dma_done);
+  }
   const std::uint64_t sink_before = rx.sink->bytes_received();
   const Status st = rx.driver->DeliverPdu(payload, cfg_.base_vci + p.spec.client,
                                           rx.config.volatile_fbufs);

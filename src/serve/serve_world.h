@@ -109,6 +109,15 @@ class ServeWorld {
   // per run.
   ServeRunStats Run(const std::vector<ServeRequestSpec>& schedule);
 
+  // Turns on latency-decomposition sampling: queue_wait (arrival → issue),
+  // wire (staged → RX DMA done), dispatch (RX DMA done → client CPU pickup)
+  // recorded here, pin_hold by the FileServer. Call before Run.
+  void EnableLatency() {
+    latency_enabled_ = true;
+    file_server_->AttachLatency(&lat_);
+  }
+  const LatencyDecomposition& latency() const { return lat_; }
+
   EventLoop& loop() { return loop_; }
   Topology& topo() { return topo_; }
   SimHost& server() { return *topo_.host(server_node_); }
@@ -173,6 +182,9 @@ class ServeWorld {
   std::unique_ptr<FileCache> cache_;
   std::unique_ptr<FileServer> file_server_;
   std::unique_ptr<PressureManager> pressure_;
+
+  bool latency_enabled_ = false;
+  LatencyDecomposition lat_;
 
   // Per-run state.
   std::map<std::uint64_t, Pending> pending_;

@@ -36,6 +36,8 @@
 
 namespace fbufs {
 
+class LifecycleTracker;
+
 struct MachineConfig {
   std::uint32_t phys_frames = 16384;  // 64 MB of simulated physical memory
   std::uint32_t tlb_entries = Tlb::kDefaultEntries;
@@ -86,6 +88,11 @@ class Machine {
   MetricsRegistry* metrics() { return metrics_; }
   void AttachMetrics(MetricsRegistry* m) { metrics_ = m; }
 
+  // Optional fbuf provenance tracker (src/obs/lifecycle.h); same attach
+  // discipline as metrics — null until a bench, campaign or test opts in.
+  LifecycleTracker* lifecycle() { return lifecycle_; }
+  void AttachLifecycle(LifecycleTracker* t) { lifecycle_ = t; }
+
   const std::string& name() const { return config_.name; }
   std::uint32_t tlb_entries() const { return config_.tlb_entries; }
 
@@ -122,6 +129,7 @@ class Machine {
   SimClock* active_clock_ = nullptr;
   Trace trace_;
   MetricsRegistry* metrics_ = nullptr;
+  LifecycleTracker* lifecycle_ = nullptr;
   CostParams costs_;
   SimStats stats_;
   PhysMem pmem_;

@@ -188,6 +188,37 @@ TEST(Metrics, HistogramBucketsAndQuantiles) {
   EXPECT_GE(h.ApproxQuantile(1.0), 100000u);
 }
 
+TEST(Metrics, EmptyHistogramQuantilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ApproxQuantile(0.0), 0u);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);
+  EXPECT_EQ(h.ApproxQuantile(1.0), 0u);
+}
+
+TEST(Metrics, ApproxQuantileInterpolatesWithinABucket) {
+  // All eight observations land in bucket 4 ([16, 31]), so the quantile is
+  // pure within-bucket interpolation: q<=0 pins to min, q>=1 pins to max,
+  // and q=0.5 sits at target=4 of 8 -> frac 0.5 -> 16 + floor(0.5 * 15).
+  Histogram h;
+  for (std::uint64_t v : {16u, 18u, 20u, 22u, 24u, 26u, 28u, 31u}) {
+    h.Observe(v);
+  }
+  EXPECT_EQ(h.ApproxQuantile(0.0), 16u);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 23u);
+  EXPECT_EQ(h.ApproxQuantile(1.0), 31u);
+  // The estimate is clamped to the observed range even at the bucket edges.
+  EXPECT_GE(h.ApproxQuantile(0.01), h.min());
+  EXPECT_LE(h.ApproxQuantile(0.999), h.max());
+  // The multi-bucket set from above: p50 interpolates to the top of
+  // bucket 1 exactly (target 3 of the 2 values in [2,3] -> frac 1).
+  Histogram multi;
+  for (std::uint64_t v : {1u, 2u, 3u, 100u, 1000u, 100000u}) {
+    multi.Observe(v);
+  }
+  EXPECT_EQ(multi.ApproxQuantile(0.5), 3u);
+}
+
 TEST(Metrics, RegistryPointersAreStableAndJsonDeterministic) {
   auto fill = [](MetricsRegistry& r) {
     Counter* c = r.GetCounter("b.count");

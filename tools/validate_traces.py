@@ -10,8 +10,15 @@ every lane_conservation instant balances to the nanosecond
 checks: every '<ring>/sq_depth' track must come with a matching
 '<ring>/doorbells' track, depths must be non-negative, and doorbell counts
 must be non-decreasing; traces from ablation_rings must contain at least
-one ring track. Exits non-zero on the first violation. Used by CI after
-bench/campaigns, bench/multicore and bench/ablation_rings run.
+one ring track. Flow events (fbuf journeys) are checked for binding: every
+flow chain opens with exactly one 's' per (pid, name, id), every 't'/'f'
+follows a matching 's', timestamps never run backwards along a chain, each
+chain is terminated by exactly one 'f' (carrying Chrome's bp:"e"), and
+nothing follows the 'f'. Traces from incast and server must additionally
+carry at least one lifecycle flow and at least one histogram counter track
+(count/p50/p99 args, from MetricsRegistry export). Exits non-zero on the
+first violation. Used by CI after bench/campaigns, bench/multicore,
+bench/ablation_rings, bench/incast and bench/server run.
 """
 import json
 import sys
@@ -51,6 +58,37 @@ def check_ring_tracks(path, counter_values):
     return rings
 
 
+def check_flow_event(path, e, flows):
+    """One step of a flow chain: 's' opens, 't' continues, 'f' closes."""
+    ph = e["ph"]
+    if "id" not in e:
+        raise SystemExit(f"{path}: flow event '{e['name']}' ({ph}) has no id")
+    key = (e.get("pid"), e["name"], e["id"])
+    ts = e.get("ts", 0)
+    chain = flows.get(key)
+    if ph == "s":
+        if chain is not None:
+            raise SystemExit(
+                f"{path}: duplicate flow start for {key} (ids must be "
+                f"unique per journey)")
+        flows[key] = {"ts": ts, "closed": False}
+        return
+    if chain is None:
+        raise SystemExit(f"{path}: flow '{ph}' without a matching 's': {key}")
+    if chain["closed"]:
+        raise SystemExit(f"{path}: flow event after 'f' on chain {key}")
+    if ts < chain["ts"]:
+        raise SystemExit(
+            f"{path}: flow chain {key} runs backwards "
+            f"({chain['ts']} -> {ts})")
+    chain["ts"] = ts
+    if ph == "f":
+        if e.get("bp") != "e":
+            raise SystemExit(
+                f"{path}: flow end on chain {key} lacks bp:\"e\" binding")
+        chain["closed"] = True
+
+
 def validate(path):
     with open(path) as f:
         doc = json.load(f)
@@ -60,6 +98,8 @@ def validate(path):
     stacks = {}
     counter_ts = {}
     counter_values = {}
+    flows = {}
+    hist_tracks = set()
     begins = ends = instants = counters = lanes_checked = 0
     for e in events:
         ph = e["ph"]
@@ -95,6 +135,10 @@ def validate(path):
                     f"({counter_ts[track]} -> {ts})")
             counter_ts[track] = ts
             counter_values.setdefault(e["name"], []).extend(args.values())
+            if {"count", "p50", "p99"} <= set(args):
+                hist_tracks.add(e["name"])
+        elif ph in ("s", "t", "f"):
+            check_flow_event(path, e, flows)
     if begins != ends:
         raise SystemExit(f"{path}: unbalanced spans ({begins} B vs {ends} E)")
     for lane, stack in stacks.items():
@@ -102,13 +146,30 @@ def validate(path):
             raise SystemExit(f"{path}: {len(stack)} unclosed span(s) on lane {lane}")
     if instants == 0:
         raise SystemExit(f"{path}: no instants (phase markers missing)")
+    for key, chain in flows.items():
+        if not chain["closed"]:
+            raise SystemExit(f"{path}: flow chain {key} never reaches 'f'")
     rings = check_ring_tracks(path, counter_values)
     if "ablation_rings" in path and rings == 0:
         raise SystemExit(f"{path}: ablation_rings trace has no ring counter tracks")
+    # Exact basenames: campaign traces (e.g. TRACE_server_churn.json) carry
+    # host spans only, not metrics/lifecycle processes.
+    base = path.rsplit("/", 1)[-1]
+    if base in ("TRACE_incast.json", "TRACE_server.json"):
+        # These benches attach a MetricsRegistry and a LifecycleTracker; an
+        # export without histogram tracks or journeys means a hook came loose.
+        if not hist_tracks:
+            raise SystemExit(f"{path}: no histogram counter tracks "
+                             f"(count/p50/p99) in a metrics-armed trace")
+        if not flows:
+            raise SystemExit(f"{path}: no fbuf journey flow chains "
+                             f"in a lifecycle-armed trace")
     ringinfo = f", {rings} ring track(s)" if rings else ""
     extra = f", {lanes_checked} lane(s) conserved" if lanes_checked else ""
+    flowinfo = f", {len(flows)} flow chain(s)" if flows else ""
+    histinfo = f", {len(hist_tracks)} histogram track(s)" if hist_tracks else ""
     print(f"{path}: {len(events)} events, {begins} spans, {instants} instants, "
-          f"{counters} counter points{extra}{ringinfo}")
+          f"{counters} counter points{extra}{ringinfo}{flowinfo}{histinfo}")
 
 
 def main(argv):
